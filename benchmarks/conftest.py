@@ -1,0 +1,11 @@
+"""Benchmark bootstrap: src/ path fallback (mirrors the root conftest)."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

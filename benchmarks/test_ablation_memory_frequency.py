@@ -1,0 +1,18 @@
+"""Ablation bench (§4.2): memory frequency 4800 -> 5600 MHz = ~+8%."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_memory_frequency(frequencies=(4800, 5200, 5600))
+
+
+def test_ablation_memory_frequency(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["memory_mhz"]: row for row in result.rows()}
+    assert rows[5600]["speedup_pct"] == pytest.approx(8, abs=1.5)
+    # Monotone in frequency.
+    assert rows[4800]["per_core_mpps"] < rows[5200]["per_core_mpps"] < rows[5600]["per_core_mpps"]

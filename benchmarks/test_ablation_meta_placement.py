@@ -1,0 +1,18 @@
+"""Ablation bench (§7): PLB meta header placement, tail vs head."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_meta_placement()
+
+
+def test_ablation_meta_placement(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["placement"]: row for row in result.rows()}
+    # Head placement (private-room copy) costs 33.6% of throughput.
+    assert rows["head"]["relative"] == pytest.approx(0.664, abs=0.02)
+    assert rows["tail"]["relative"] == 1.0

@@ -1,0 +1,21 @@
+"""Ablation bench (§4.3): meter-table hash collisions and pre_check."""
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_ratelimit_collisions()
+
+
+def test_ablation_ratelimit_collisions(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["pre_check"]: row for row in result.rows()}
+    # Without pre_check, innocents double-colliding with a dominant
+    # tenant are almost entirely rate-limited away.
+    assert rows["off"]["victim_drop_rate"] > 0.5
+    # With pre_check, the sampler promotes the heavy hitter within ~1 s
+    # and the collateral damage (nearly) vanishes.
+    assert rows["on"]["victim_drop_rate"] < 0.1
+    assert rows["on"]["promotions"] >= 1
+    # The dominant tenant is still clipped to its limit either way.
+    assert rows["on"]["dominant_delivered_pps"] < 1500

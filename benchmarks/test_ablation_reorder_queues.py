@@ -1,0 +1,20 @@
+"""Ablation bench (§4.1): reorder queue count, C1 vs C2 trade-off."""
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_reorder_queue_tradeoff()
+
+
+def test_ablation_reorder_queues(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = result.rows()
+    # C1: under a fixed total buffer, more queues -> shorter queues ->
+    # less heavy-hitter pps each queue can absorb within the timeout.
+    tolerances = [row["hitter_tolerance_mpps"] for row in rows]
+    assert tolerances[0] >= 4 * tolerances[-1] / 2  # halves as queues double
+    assert tolerances == sorted(tolerances, reverse=True)
+    # C2: with fewer queues, each HOL hole blocks a larger traffic share,
+    # so the tail latency under silent loss is worse.
+    assert rows[0]["p999_us"] > rows[-1]["p999_us"]

@@ -1,0 +1,22 @@
+"""Ablation bench (§7 roadmap): FPGA session offloading."""
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_session_offload(), ablations.run_session_offload_sim()
+
+
+def test_ablation_session_offload(benchmark):
+    analytic, simulated = benchmark.pedantic(run, rounds=1, iterations=1)
+    analytic.print_table()
+    simulated.print_table()
+    rows = {row["cores"]: row for row in analytic.rows()}
+    # Offload recovers (and exceeds) the scaling write-heavy PLB loses.
+    assert rows[44]["with_offload_mpps"] > 10 * rows[44]["write_heavy_plb_mpps"]
+    assert rows[44]["with_offload_mpps"] >= rows[44]["rss_mpps"]
+    # Simulated fast path: established flows bypass the CPU almost fully.
+    sim_rows = {row["offload"]: row for row in simulated.rows()}
+    assert sim_rows["on"]["cpu_packets"] < sim_rows["off"]["cpu_packets"] / 20
+    assert sim_rows["on"]["hit_rate"] > 0.9
+    # Same goodput either way: offload changes *where*, not *whether*.
+    assert abs(sim_rows["on"]["transmitted"] - sim_rows["off"]["transmitted"]) < 1000

@@ -1,0 +1,25 @@
+"""Ablation bench (§7): stateful NF scaling under PLB."""
+
+def run():
+    from repro.experiments import ablations
+
+    return ablations.run_stateful_nf(core_counts=(1, 2, 4, 8, 16, 32, 44))
+
+
+def test_ablation_stateful_nf(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["cores"]: row for row in result.rows()}
+    # Write-light scales ~linearly (paper: "very promising").
+    assert rows[32]["write_light_plb_mpps"] > 6 * rows[4]["write_light_plb_mpps"]
+    # Write-heavy: more cores -> WORSE overall performance.
+    assert rows[44]["write_heavy_plb_mpps"] < rows[4]["write_heavy_plb_mpps"]
+    # Removing locks leaves the degradation largely unchanged (coherence).
+    assert rows[44]["write_heavy_lockfree_mpps"] < 2 * rows[44]["write_heavy_plb_mpps"]
+    # The paper's fixes recover scaling: local state and core grouping.
+    assert rows[44]["write_heavy_local_state_mpps"] > 10 * rows[44]["write_heavy_plb_mpps"]
+    assert (
+        rows[44]["write_heavy_plb_mpps"]
+        < rows[44]["write_heavy_grouped_mpps"]
+        < rows[44]["write_heavy_local_state_mpps"]
+    )

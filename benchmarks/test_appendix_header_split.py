@@ -1,0 +1,18 @@
+"""Bench for appendix A: header-payload split PCIe savings."""
+
+def run():
+    from repro.experiments import appendix_nic
+
+    return appendix_nic.run_header_split()
+
+
+def test_appendix_header_split(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["frame_bytes"]: row for row in result.rows()}
+    # Split mode's PCIe-bound rate is frame-size independent.
+    split_rates = {row["header_split_mpps"] for row in result.rows()}
+    assert len(split_rates) == 1
+    # Jumbo frames (8500 B payload) gain the most -- the paper's point.
+    assert rows[8500]["speedup"] > 20
+    assert rows[8500]["speedup"] > rows[1500]["speedup"] > rows[256]["speedup"]

@@ -1,0 +1,19 @@
+"""Bench for §2.1/§4.3: protocol survival under NIC port overload."""
+
+def run():
+    from repro.experiments import appendix_nic
+
+    return appendix_nic.run_port_overload()
+
+
+def test_appendix_port_overload(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["priority_queues"]: row for row in result.rows()}
+    # 1st-gen behaviour: 2x overload halves the protocol stream too --
+    # three consecutive lost BFD probes tear the link down.
+    assert rows["off (1st-gen)"]["protocol_delivered_pct"] < 60
+    assert not rows["off (1st-gen)"]["bfd_survives"]
+    # Albatross's priority queues deliver every protocol packet.
+    assert rows["on"]["protocol_delivered_pct"] == 100
+    assert rows["on"]["bfd_survives"]

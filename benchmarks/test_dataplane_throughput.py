@@ -1,0 +1,58 @@
+"""Performance benchmark of the functional dataplane (frames/second).
+
+Unlike the table/figure benches (which print paper rows), this one uses
+pytest-benchmark conventionally: it measures how fast the *functional*
+byte-level gateway forwards frames on the host CPU.  It exists to keep
+the functional path honest -- a Python gateway will not hit 1 Mpps, but
+it must stay fast enough for the byte-accurate tests and examples.
+"""
+
+from repro.dataplane.vxlan_gateway import ForwardAction, VxlanGateway
+from repro.packet import headers as hdr
+from repro.packet.flows import FlowKey, ip_from_str
+from repro.packet.parser import build_vxlan_frame
+
+
+def build_workload(flows=64):
+    gateway = VxlanGateway(local_vtep_ip=ip_from_str("10.0.0.254"))
+    frames = []
+    for index in range(flows):
+        vm = ip_from_str("172.16.0.10") + index
+        dst = ip_from_str("172.16.1.10") + index
+        gateway.map_vm(7, dst, ip_from_str("10.0.1.2") + (index % 8))
+        ipv4 = hdr.Ipv4Header(vm, dst, hdr.IPPROTO_UDP, hdr.IPV4_MIN_LEN + 64)
+        inner = (
+            hdr.EthernetHeader(
+                b"\x02\x00\x00\x00\x00\x02",
+                b"\x02\x00\x00\x00\x00\x01",
+                hdr.ETHERTYPE_IPV4,
+            ).pack()
+            + ipv4.pack()
+            + b"x" * 64
+        )
+        outer_flow = FlowKey(
+            ip_from_str("10.0.9.9"), ip_from_str("10.0.0.254"),
+            40_000 + index, 4789, 17,
+        )
+        frames.append(build_vxlan_frame(outer_flow, 7, inner))
+    return gateway, frames
+
+
+def test_dataplane_forwarding_rate(benchmark):
+    gateway, frames = build_workload()
+
+    def forward_batch():
+        for frame in frames:
+            action, out = gateway.process_frame(frame)
+        return action
+
+    last_action = benchmark(forward_batch)
+    assert last_action is ForwardAction.ENCAP_TO_NC
+    # Every frame must have been forwarded east-west, none dropped.
+    assert gateway.counters[ForwardAction.DROP_MALFORMED] == 0
+    assert gateway.counters[ForwardAction.DROP_NO_ROUTE] == 0
+    # Sanity floor: the functional path should exceed ~2k frames/s even
+    # on slow hardware (it is test infrastructure, not the fast path).
+    mean_s = benchmark.stats.stats.mean
+    frames_per_second = len(frames) / mean_s
+    assert frames_per_second > 2_000

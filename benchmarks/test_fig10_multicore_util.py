@@ -1,0 +1,19 @@
+"""Bench for Fig. 10: per-core utilization spread over a compressed week."""
+
+def run():
+    from repro.experiments import fig10_multicore_util
+
+    return fig10_multicore_util.run()
+
+
+def test_fig10_multicore_util(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["mode"]: row for row in result.rows()}
+    # RSS stddev fluctuates far above PLB's (paper: "much higher").
+    assert rows["rss"]["mean_stddev"] > 10 * rows["plb"]["mean_stddev"]
+    assert rows["rss"]["max_stddev"] > 10 * rows["plb"]["max_stddev"]
+    # Microbursts on one RSS core push its utilization spread visibly.
+    assert rows["rss"]["max_stddev"] > 0.03
+    # PLB keeps cores within a fraction of a percent of each other.
+    assert rows["plb"]["max_stddev"] < 0.01

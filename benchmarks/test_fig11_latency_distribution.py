@@ -1,0 +1,21 @@
+"""Bench for Fig. 11: production PLB latency distribution."""
+
+def run():
+    from repro.experiments import fig11_latency_distribution
+
+    return fig11_latency_distribution.run()
+
+
+def test_fig11_latency_distribution(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["pod"]: row for row in result.rows()}
+    for pod, row in rows.items():
+        # >99% of packet latencies below 30 us on every pod.
+        assert row["below_30us"] > 0.99, pod
+        # Disorder (beyond the 100 us timeout) stays rare (~1e-5 regime).
+        assert row["disorder_rate"] < 1e-3, pod
+    # Higher-loaded pods carry more 30-100 us mass than lighter ones.
+    heavy = rows["A"]["in_30_100us"] + rows["B"]["in_30_100us"]
+    light = rows["C"]["in_30_100us"] + rows["D"]["in_30_100us"]
+    assert heavy > light

@@ -1,0 +1,19 @@
+"""Bench for Fig. 12: HOL events/s with and without the active drop flag."""
+
+def run():
+    from repro.experiments import fig12_hol_drop_flag
+
+    return fig12_hol_drop_flag.run()
+
+
+def test_fig12_hol_drop_flag(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["drop_flag"]: row for row in result.rows()}
+    # Without the flag: dozens to hundreds of HOL events per second.
+    assert 20 < rows["off"]["hol_events_per_s"] < 2000
+    # With the flag: zero -- drops release reorder resources instantly.
+    assert rows["on"]["hol_events_per_s"] == 0
+    assert rows["on"]["drop_flag_releases"] > 0
+    # And the tail latency improves (no 100 us stalls).
+    assert rows["on"]["p99_us"] < rows["off"]["p99_us"]

@@ -1,0 +1,33 @@
+"""Bench for Fig. 13: tenant overload WITHOUT rate limiting.
+
+Four tenants (scaled 20/15/10/5 Kpps); tenant 1 bursts to 170 Kpps at
+t=1 s against a 100 Kpps pod: the CPU drops indiscriminately and every
+tenant suffers.
+"""
+
+import pytest
+
+
+def run():
+    from repro.experiments import fig13_14_ratelimit
+    from repro.sim.units import SECOND
+
+    return fig13_14_ratelimit.run(with_limiter=False, duration_ns=2 * SECOND)
+
+
+def test_fig13_without_limiter(benchmark):
+    from repro.experiments.fig13_14_ratelimit import loss_per_tenant
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    before = loss_per_tenant(result, after_ms=0)
+    # Pre-burst: everyone gets their full rate.
+    first_bucket = result.rows()[0]
+    assert first_bucket["tenant2_kpps"] == pytest.approx(15, rel=0.1)
+    after = loss_per_tenant(result, after_ms=1250)
+    # Post-burst: the pod is saturated at its 100 Kpps capacity and the
+    # innocent tenants all lose a significant share of their traffic.
+    assert sum(after.values()) == pytest.approx(100, rel=0.1)
+    assert after["tenant2_kpps"] < 15 * 0.8
+    assert after["tenant3_kpps"] < 10 * 0.8
+    assert after["tenant4_kpps"] < 5 * 0.9

@@ -1,0 +1,31 @@
+"""Bench for Fig. 14: tenant overload WITH the two-stage rate limiter.
+
+Same scenario as Fig. 13 but with the 8+2 Mpps (scaled 40+10 Kpps)
+two-stage limiter: tenant 1 is clipped to 50 Kpps in the NIC pipeline,
+total stays below capacity, and the innocent tenants are untouched.
+"""
+
+import pytest
+
+
+def run():
+    from repro.experiments import fig13_14_ratelimit
+    from repro.sim.units import SECOND
+
+    return fig13_14_ratelimit.run(with_limiter=True, duration_ns=2 * SECOND)
+
+
+def test_fig14_with_limiter(benchmark):
+    from repro.experiments.fig13_14_ratelimit import loss_per_tenant
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    after = loss_per_tenant(result, after_ms=1250)
+    # The dominant tenant is clipped to stage1 + stage2 = 50 Kpps.
+    assert after["tenant1_kpps"] == pytest.approx(50, rel=0.1)
+    # Innocent tenants keep their full rates (performance isolation).
+    assert after["tenant2_kpps"] == pytest.approx(15, rel=0.05)
+    assert after["tenant3_kpps"] == pytest.approx(10, rel=0.05)
+    assert after["tenant4_kpps"] == pytest.approx(5, rel=0.05)
+    # Total CPU load stays under the 100 Kpps capacity (paper: 16 < 20).
+    assert sum(after.values()) < 100

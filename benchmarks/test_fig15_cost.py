@@ -1,0 +1,21 @@
+"""Bench for Fig. 15: AZ construction cost comparison."""
+
+def run():
+    from repro.experiments import fig15_cost
+
+    return fig15_cost.run()
+
+
+def test_fig15_cost(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    # 32 physical gateways consolidate onto 8 Albatross servers: the
+    # scheduler produces the packing, the arithmetic gives the paper's
+    # headline numbers.
+    assert result.meta["server_reduction_pct"] == 75
+    assert result.meta["cost_reduction_pct"] == 50
+    assert result.meta["power_reduction_pct"] == 40
+    rows = {row["deployment"]: row for row in result.rows()}
+    assert rows["Albatross (containerized)"]["devices"] == 8
+    assert rows["physical (1st+2nd gen)"]["power_w"] == 12_000
+    assert rows["Albatross (containerized)"]["power_w"] == 7_200

@@ -1,0 +1,18 @@
+"""Bench for Fig. 16: cross- vs intra-NUMA placement."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import fig16_17_numa
+
+    return fig16_17_numa.run_fig16()
+
+
+def test_fig16_numa_placement(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["placement"]: row for row in result.rows()}
+    # Cross-NUMA costs 14% for the lookup-heavy service (paper's number).
+    assert rows["cross"]["relative"] == pytest.approx(0.86, abs=0.02)
+    assert rows["intra"]["relative"] == 1.0

@@ -1,0 +1,18 @@
+"""Bench for Fig. 17: automatic NUMA balancing latency bursts at 90% load."""
+
+def run():
+    from repro.experiments import fig16_17_numa
+
+    return fig16_17_numa.run_fig17()
+
+
+def test_fig17_numa_balancing(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["numa_balancing"]: row for row in result.rows()}
+    # Balancing on: periodic page-fault stalls turn into latency bursts.
+    assert rows["on"]["max_us"] > 3 * rows["off"]["max_us"]
+    assert rows["on"]["balancer_scans"] > 0
+    # Balancing off (the paper's fix): flat latency, no bursts.
+    assert rows["off"]["p99_us"] < 30
+    assert rows["off"]["max_us"] < 2 * rows["off"]["p50_us"]

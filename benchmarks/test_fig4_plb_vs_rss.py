@@ -1,0 +1,20 @@
+"""Bench for Fig. 4: per-core performance, PLB vs RSS (<1% gap)."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import fig4_fig5_cache
+
+    return fig4_fig5_cache.run(core_counts=(1, 2, 4))
+
+
+def test_fig4_plb_vs_rss(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    for row in result.rows():
+        if "plb_vs_rss_gap_pct" in row:
+            assert row["plb_vs_rss_gap_pct"] < 1.0
+    # Per-core throughput is flat across core counts (shared L3 story).
+    rates = [row["per_core_kpps"] for row in result.rows()]
+    assert max(rates) / min(rates) < 1.05

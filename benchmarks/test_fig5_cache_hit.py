@@ -1,0 +1,16 @@
+"""Bench for Fig. 5: L3 cache hit rate, 30-45% for both PLB and RSS."""
+
+def run():
+    from repro.experiments import fig4_fig5_cache
+
+    return fig4_fig5_cache.run(core_counts=(2,))
+
+
+def test_fig5_cache_hit(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    for row in result.rows():
+        assert 0.30 <= row["l3_hit_rate"] <= 0.45, row
+    rates = {row["mode"]: row["l3_hit_rate"] for row in result.rows()}
+    # PLB and RSS see the same shared-L3 behaviour.
+    assert abs(rates["plb"] - rates["rss"]) < 0.02

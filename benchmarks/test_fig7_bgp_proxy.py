@@ -1,0 +1,27 @@
+"""Bench for Fig. 7 / §5: BGP proxy vs direct pod peering."""
+
+def run():
+    from repro.experiments import fig7_bgp
+
+    return fig7_bgp.run_peer_scaling(), fig7_bgp.run_protocol(pods=8)
+
+
+def test_fig7_bgp_proxy(benchmark):
+    scaling, protocol = benchmark.pedantic(run, rounds=1, iterations=1)
+    scaling.print_table()
+    protocol.print_table()
+    rows = {row["pods_per_server"]: row for row in scaling.rows()}
+    # Direct peering: the 64-peer threshold caps density at 2 pods/server.
+    assert not rows[2]["direct_over_threshold"]
+    assert rows[4]["direct_over_threshold"]
+    # Past the threshold, convergence reaches tens of minutes.
+    assert rows[4]["direct_convergence_s"] > 600
+    # The proxy keeps the switch at 32 peers regardless of density.
+    assert all(row["proxy_peers"] == 32 for row in scaling.rows())
+    assert all(row["proxy_convergence_s"] < 10 for row in scaling.rows())
+    # End-to-end: 8 pods' routes reach the switch over ONE eBGP session,
+    # and a pod death withdraws exactly its route.
+    stages = {row["stage"]: row for row in protocol.rows()}
+    assert stages["after advertisement"]["switch_peers"] == 1
+    assert stages["after advertisement"]["switch_routes"] == 8
+    assert stages["after pod0 death"]["switch_routes"] == 7

@@ -1,0 +1,22 @@
+"""Bench for Fig. 8: heavy-hitter load balancing, RSS vs PLB."""
+
+def run():
+    from repro.experiments import fig8_load_balancing
+
+    return fig8_load_balancing.run()
+
+
+def test_fig8_load_balancing(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {(row["mode"], row["hitter_pct_of_core"]): row for row in result.rows()}
+    # RSS: hitter at 130% of a core overloads core 1 -> heavy loss.
+    assert rows[("rss", 130)]["core_util_max"] > 0.98
+    assert rows[("rss", 130)]["loss_rate"] > 0.15
+    # RSS loss appears only once the hitter exceeds one core (~100%).
+    assert rows[("rss", 75)]["loss_rate"] < 0.01
+    # PLB: even spread, no loss, at every sweep point.
+    for fraction in (0, 25, 50, 75, 100, 130):
+        row = rows[("plb", fraction)]
+        assert row["loss_rate"] < 0.01
+        assert row["core_util_max"] - row["core_util_min"] < 0.05

@@ -1,0 +1,21 @@
+"""Bench for Fig. 9: P99 latency vs load -- PLB wins beyond ~75%."""
+
+def run():
+    from repro.experiments import fig9_p99_latency
+
+    return fig9_p99_latency.run()
+
+
+def test_fig9_p99_latency(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {(row["mode"], row["load_pct"]): row for row in result.rows()}
+    # Comparable at 50% load...
+    assert rows[("rss", 50)]["p99_us"] < 5 * rows[("plb", 50)]["p99_us"]
+    # ...RSS degrades past 75% while PLB stays flat.
+    assert rows[("rss", 85)]["p99_us"] > 10 * rows[("plb", 85)]["p99_us"]
+    assert rows[("rss", 95)]["p99_us"] > 10 * rows[("plb", 95)]["p99_us"]
+    # The RSS curve is monotonically worsening with load.
+    rss_curve = [rows[("rss", load)]["p99_us"] for load in (50, 65, 75, 85, 95)]
+    assert rss_curve == sorted(rss_curve)
+    assert rows[("plb", 95)]["p99_us"] < 1000

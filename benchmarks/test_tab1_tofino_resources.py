@@ -1,0 +1,28 @@
+"""Bench for Tab. 1: Sailfish's Tofino resource consumption.
+
+Background table, but the one that motivates the whole paper: the
+representative Sailfish programs land on Tab. 1's utilization and every
+evolution attempt fails for the stated reason.
+"""
+
+import pytest
+
+
+def run():
+    from repro.experiments import tab1_tofino
+
+    return tab1_tofino.run()
+
+
+def test_tab1_tofino_resources(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    for row in result.rows():
+        assert row["sram_pct"] == pytest.approx(row["paper_sram"], abs=0.5)
+        assert row["tcam_pct"] == pytest.approx(row["paper_tcam"], abs=0.5)
+        assert row["phv_pct"] == pytest.approx(row["paper_phv"], abs=0.5)
+    failures = result.meta["evolution_attempts"]
+    assert failures["new header (Geneve)"] == "phv"
+    assert failures["new header (NSH)"] == "phv"
+    assert failures["large table"] == "memory"
+    assert failures["long-chained function"] == "stage"

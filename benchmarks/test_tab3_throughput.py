@@ -1,0 +1,26 @@
+"""Bench for Tab. 3: throughput of the four gateway services.
+
+Prints the same row set the paper reports (Mpps per service on one
+Albatross server with 88 data cores) and checks the model tracks the
+paper within 2%.
+"""
+
+import pytest
+
+
+def run():
+    from repro.experiments import tab3_throughput
+
+    return tab3_throughput.run(simulate=True)
+
+
+def test_tab3_throughput(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    for row in result.rows():
+        assert row["albatross_mpps"] == pytest.approx(row["paper_mpps"], rel=0.02)
+        # The scaled simulation through the full NIC pipeline must agree
+        # with the analytic rate within 10%.
+        assert row["sim_mpps"] == pytest.approx(row["albatross_mpps"], rel=0.10)
+    slowest = min(result.rows(), key=lambda row: row["albatross_mpps"])
+    assert slowest["service"] == "VPC-Internet"

@@ -1,0 +1,21 @@
+"""Bench for Tab. 4: NIC pipeline latency per module (RX/TX)."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import tab4_tab5_nic
+
+    return tab4_tab5_nic.run_latency(measure=True)
+
+
+def test_tab4_nic_latency(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    total = [row for row in result.rows() if row["module"] == "Sum"][0]
+    assert total["rx_us"] == pytest.approx(3.90, abs=0.01)
+    assert total["tx_us"] == pytest.approx(4.17, abs=0.01)
+    # DMA dominates, PLB adds only ~0.5 us (paper's observations).
+    dma = [row for row in result.rows() if row["module"] == "dma"][0]
+    assert dma["rx_us"] + dma["tx_us"] > 0.7 * (total["rx_us"] + total["tx_us"])
+    assert result.meta["measured_unloaded_us"] == pytest.approx(8.07, abs=0.3)

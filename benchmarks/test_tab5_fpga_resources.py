@@ -1,0 +1,22 @@
+"""Bench for Tab. 5: FPGA resource consumption per module."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import tab4_tab5_nic
+
+    return tab4_tab5_nic.run_resources(reorder_queues=8)
+
+
+def test_tab5_fpga_resources(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["module"]: row for row in result.rows()}
+    assert rows["Sum"]["lut_pct"] == pytest.approx(60.0, abs=0.1)
+    assert rows["Sum"]["bram_pct"] == pytest.approx(44.5, abs=0.1)
+    # PLB + overload detection = 14.6% LUT / 5% BRAM (the paper's callout).
+    plb_overload_lut = rows["plb"]["lut_pct"] + rows["overload_detection"]["lut_pct"]
+    assert plb_overload_lut == pytest.approx(14.6, abs=0.1)
+    # Bottom-up BRAM estimate for the PLB structures lands near Tab. 5.
+    assert result.meta["plb_bram_estimate_pct"] == pytest.approx(5.0, abs=2.0)

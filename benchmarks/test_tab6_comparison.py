@@ -1,0 +1,27 @@
+"""Bench for Tab. 6: Albatross vs Sailfish head-to-head."""
+
+import pytest
+
+
+def run():
+    from repro.experiments import tab6_comparison
+
+    return tab6_comparison.run()
+
+
+def test_tab6_comparison(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    result.print_table()
+    rows = {row["gateway"]: row for row in result.rows()}
+    albatross, sailfish = rows["Albatross"], rows["Sailfish"]
+    # LPM capacity: >10M vs 0.2M (DRAM vs on-chip SRAM).
+    assert albatross["lpm_rules_m"] > 10
+    assert sailfish["lpm_rules_m"] == 0.2
+    # Elasticity: seconds vs days.
+    assert "second" in albatross["elasticity"]
+    # Cost: per-device 2x but per-AZ half.
+    assert albatross["price_device"] == 2 * sailfish["price_device"]
+    assert albatross["price_az"] == sailfish["price_az"] / 2
+    # Performance regression: ~4x throughput, ~18x packet rate, 10x latency.
+    assert sailfish["throughput_gbps"] / albatross["throughput_gbps"] == 4
+    assert albatross["latency_us"] / sailfish["latency_us"] == 10

@@ -1,0 +1,16 @@
+"""Pytest bootstrap: make src/ importable without installation.
+
+`pip install -e .` is the supported path; this fallback keeps the test
+suite runnable in environments where the editable install is awkward
+(e.g. fully offline machines without the wheel package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

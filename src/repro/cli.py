@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` -- run one GW pod with a synthetic workload and print a
+  throughput/latency report (the quickstart, parameterized).
+* ``experiment`` -- run one named experiment (or ``all``) and print its
+  table; names match :func:`repro.experiments.runner.all_experiments`.
+* ``inventory`` -- list the available experiments and gateway services.
+"""
+
+import argparse
+import sys
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Albatross (SIGCOMM 2025) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser("simulate", help="run one GW pod")
+    simulate.add_argument("--cores", type=int, default=8, help="data cores")
+    simulate.add_argument(
+        "--mode", choices=("plb", "rss"), default="plb", help="load-balancing mode"
+    )
+    simulate.add_argument(
+        "--service",
+        default="VPC-Internet",
+        help="gateway service (see 'inventory')",
+    )
+    simulate.add_argument(
+        "--load", type=float, default=0.6, help="offered load as a capacity fraction"
+    )
+    simulate.add_argument(
+        "--duration-ms", type=int, default=50, help="simulated duration"
+    )
+    simulate.add_argument("--flows", type=int, default=1000)
+    simulate.add_argument("--tenants", type=int, default=50)
+    simulate.add_argument("--seed", type=int, default=42)
+
+    experiment = commands.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", help="experiment name or 'all'")
+    experiment.add_argument("--quick", action="store_true", help="shorter runs")
+
+    commands.add_parser("inventory", help="list experiments and services")
+    return parser
+
+
+def cmd_simulate(args):
+    from repro.core.gateway import AlbatrossServer, PodConfig
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngRegistry
+    from repro.sim.units import MS, US
+    from repro.workloads.generators import CbrSource, uniform_population
+
+    sim = Simulator()
+    rngs = RngRegistry(seed=args.seed)
+    server = AlbatrossServer(sim, rngs)
+    pod = server.add_pod(
+        PodConfig(name="cli-pod", data_cores=args.cores, mode=args.mode,
+                  service=args.service)
+    )
+    capacity = pod.expected_capacity_mpps() * 1e6
+    rate = int(capacity * args.load)
+    population = uniform_population(args.flows, tenants=args.tenants)
+    CbrSource(sim, rngs.stream("traffic"), pod.ingress, population, rate_pps=rate)
+    duration_ns = args.duration_ms * MS
+    sim.run_until(duration_ns)
+
+    histogram = pod.latency_histogram
+    stats = pod.reorder_stats
+    print(f"pod: {args.cores} cores, {args.mode} mode, {args.service}")
+    print(f"offered: {rate / 1e6:.3f} Mpps ({args.load:.0%} of capacity)")
+    print(f"delivered: {pod.throughput_mpps():.3f} Mpps "
+          f"({pod.transmitted()} packets in {args.duration_ms} ms)")
+    if histogram.count:
+        print(f"latency: mean {histogram.mean_ns / US:.1f} us / "
+              f"p99 {histogram.percentile(0.99) / US:.1f} us / "
+              f"max {histogram.max_ns / US:.1f} us")
+    if args.mode == "plb":
+        print(f"reorder: {stats.in_order} in order, {stats.best_effort} "
+              f"best-effort (disorder {stats.disorder_rate():.2e}), "
+              f"{stats.hol_events} HOL events")
+    drops = {
+        name: pod.counters.get(name)
+        for name in ("rx_queue_drops", "reorder_fifo_drops", "rate_limited_drops")
+        if pod.counters.get(name)
+    }
+    print(f"drops: {drops or 'none'}")
+    return 0
+
+
+def cmd_experiment(args):
+    from repro.experiments.runner import all_experiments
+
+    names = []
+    for name, fn in all_experiments(quick=args.quick):
+        names.append(name)
+        if args.name in (name, "all"):
+            result = fn()
+            if isinstance(result, tuple):
+                for part in result:
+                    part.print_table()
+            else:
+                result.print_table()
+    if args.name != "all" and args.name not in names:
+        print(f"unknown experiment {args.name!r}; choose from: {', '.join(names)}")
+        return 1
+    return 0
+
+
+def cmd_inventory(_args):
+    from repro.cpu.service import standard_services
+    from repro.experiments.runner import all_experiments
+
+    print("experiments:")
+    for name, _fn in all_experiments():
+        print(f"  {name}")
+    print("gateway services:")
+    for name, service in standard_services().items():
+        print(f"  {name}: base {service.base_ns} ns, "
+              f"{service.lookup_count} lookups")
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+        "inventory": cmd_inventory,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Containerized gateway deployment (§5, appendix B).
+
+* :mod:`repro.container.sriov` -- NIC virtualization: PF/VF partitioning,
+  per-pod queue allocation, and the 4-VF high-availability fabric.
+* :mod:`repro.container.scheduler` -- ACK-style pod placement across a
+  fleet of Albatross servers, NUMA-affine.
+* :mod:`repro.container.elasticity` -- 10-second pod preparation and
+  make-before-break traffic migration.
+"""
+
+from repro.container.elasticity import ElasticityManager, MigrationPlan
+from repro.container.scheduler import FleetScheduler, PlacementError, ServerSpec
+from repro.container.sriov import NicCard, NicPort, VfAllocator, VirtualFunction
+
+__all__ = [
+    "ElasticityManager",
+    "MigrationPlan",
+    "FleetScheduler",
+    "PlacementError",
+    "ServerSpec",
+    "NicCard",
+    "NicPort",
+    "VfAllocator",
+    "VirtualFunction",
+]

@@ -1,0 +1,122 @@
+"""ACK-style pod placement across a fleet of Albatross servers.
+
+The Fig. 15 cost story comes from here: eight gateway clusters x four
+gateways that used to need 32 physical boxes pack into 8 Albatross
+servers at 4 GW pods apiece.  The scheduler does NUMA-affine bin packing:
+a pod's cores and memory must fit inside one NUMA node.
+"""
+
+
+class PlacementError(Exception):
+    """No server can host the pod."""
+
+
+class ServerSpec:
+    """Capacity description of one Albatross server."""
+
+    def __init__(
+        self,
+        name,
+        numa_nodes=2,
+        cores_per_node=48,
+        memory_gb_per_node=512,
+        max_pods=None,
+    ):
+        self.name = name
+        self.numa_nodes = numa_nodes
+        self.cores_per_node = cores_per_node
+        self.memory_gb_per_node = memory_gb_per_node
+        self.max_pods = max_pods
+
+
+class _ServerState:
+    def __init__(self, spec):
+        self.spec = spec
+        self.free_cores = [spec.cores_per_node] * spec.numa_nodes
+        self.free_memory_gb = [spec.memory_gb_per_node] * spec.numa_nodes
+        self.pods = []  # (pod_name, node, cores, memory_gb)
+
+    def fit_node(self, cores, memory_gb):
+        """First NUMA node with room, or None."""
+        for node in range(self.spec.numa_nodes):
+            if self.free_cores[node] >= cores and self.free_memory_gb[node] >= memory_gb:
+                return node
+        return None
+
+    def place(self, pod_name, cores, memory_gb):
+        node = self.fit_node(cores, memory_gb)
+        if node is None:
+            return None
+        if self.spec.max_pods is not None and len(self.pods) >= self.spec.max_pods:
+            return None
+        self.free_cores[node] -= cores
+        self.free_memory_gb[node] -= memory_gb
+        self.pods.append((pod_name, node, cores, memory_gb))
+        return node
+
+
+class FleetScheduler:
+    """Places pods on servers; first-fit-decreasing by default.
+
+    Placement result: {pod_name: (server_name, numa_node)}.
+    """
+
+    def __init__(self, server_specs):
+        if not server_specs:
+            raise ValueError("fleet needs at least one server")
+        self._servers = [_ServerState(spec) for spec in server_specs]
+        self.placements = {}
+
+    def place_pod(self, pod_name, cores, memory_gb=64):
+        """Schedule one pod; returns (server_name, numa_node)."""
+        if pod_name in self.placements:
+            raise ValueError(f"pod {pod_name!r} already placed")
+        # Prefer the most-loaded server that still fits (consolidation).
+        candidates = sorted(
+            self._servers, key=lambda state: sum(state.free_cores)
+        )
+        for state in candidates:
+            node = state.place(pod_name, cores, memory_gb)
+            if node is not None:
+                placement = (state.spec.name, node)
+                self.placements[pod_name] = placement
+                return placement
+        raise PlacementError(
+            f"no server fits pod {pod_name!r} ({cores} cores, {memory_gb} GB)"
+        )
+
+    def place_all(self, pods):
+        """Place [(name, cores, memory_gb)] largest-first; returns placements."""
+        ordered = sorted(pods, key=lambda pod: -pod[1])
+        for name, cores, memory_gb in ordered:
+            self.place_pod(name, cores, memory_gb)
+        return dict(self.placements)
+
+    def evict_pod(self, pod_name):
+        for state in self._servers:
+            for entry in state.pods:
+                if entry[0] == pod_name:
+                    _, node, cores, memory_gb = entry
+                    state.pods.remove(entry)
+                    state.free_cores[node] += cores
+                    state.free_memory_gb[node] += memory_gb
+                    del self.placements[pod_name]
+                    return True
+        return False
+
+    def servers_used(self):
+        return sum(1 for state in self._servers if state.pods)
+
+    def pods_on(self, server_name):
+        for state in self._servers:
+            if state.spec.name == server_name:
+                return [entry[0] for entry in state.pods]
+        raise ValueError(f"unknown server {server_name!r}")
+
+    def utilization(self):
+        """Fleet-wide core utilization (allocated / total)."""
+        total = sum(
+            state.spec.numa_nodes * state.spec.cores_per_node for state in self._servers
+        )
+        free = sum(sum(state.free_cores) for state in self._servers)
+        return (total - free) / total if total else 0.0

@@ -1,0 +1,170 @@
+"""SR-IOV NIC virtualization and the high-availability VF fabric.
+
+Albatross servers carry four 2x100G FPGA NICs (two per NUMA node).  Each
+NIC port exposes a physical function (PF); pods receive virtual functions
+(VFs) carved from the PFs.  For robustness every GW pod gets **four VFs
+spread over the two NICs of its NUMA node**, each VF wired through an
+independent link to a different uplink switch (Fig. B.1/B.2): any single
+NIC, port, link, or switch failure costs the pod exactly one connection.
+
+Each VF carries ``n`` RX/TX queue pairs, where ``n`` is the pod's data
+core count, so every data core polls one queue of every VF.
+"""
+
+VLAN_BASE = 100
+
+
+class NicPort:
+    """One 100G port of an FPGA NIC (one independent pipeline per port)."""
+
+    def __init__(self, card, port_index, speed_gbps=100):
+        self.card = card
+        self.port_index = port_index
+        self.speed_gbps = speed_gbps
+        self.vfs = []
+        self.failed = False
+        self.uplink_switch = None  # assigned by the fabric wiring
+
+    @property
+    def name(self):
+        return f"nic{self.card.card_index}p{self.port_index}"
+
+    def fail(self):
+        self.failed = True
+        for vf in self.vfs:
+            vf.link_up = False
+
+    def recover(self):
+        self.failed = False
+        for vf in self.vfs:
+            vf.link_up = True
+
+    def __repr__(self):
+        state = "down" if self.failed else "up"
+        return f"<NicPort {self.name} {self.speed_gbps}G {state}>"
+
+
+class NicCard:
+    """A 2x100G FPGA SmartNIC attached to one NUMA node."""
+
+    def __init__(self, card_index, numa_node, ports=2, speed_gbps=100):
+        self.card_index = card_index
+        self.numa_node = numa_node
+        self.ports = [NicPort(self, index, speed_gbps) for index in range(ports)]
+        self.failed = False
+
+    def fail(self):
+        """Whole-card failure takes down both ports."""
+        self.failed = True
+        for port in self.ports:
+            port.fail()
+
+    def recover(self):
+        self.failed = False
+        for port in self.ports:
+            port.recover()
+
+    def __repr__(self):
+        return f"<NicCard {self.card_index} numa={self.numa_node}>"
+
+
+class VirtualFunction:
+    """One VF: a pod-private slice of a port, tagged by VLAN."""
+
+    _next_vlan = VLAN_BASE
+
+    def __init__(self, port, pod_name, queue_pairs):
+        self.port = port
+        self.pod_name = pod_name
+        self.queue_pairs = queue_pairs
+        self.link_up = not port.failed
+        self.vlan_id = VirtualFunction._next_vlan
+        VirtualFunction._next_vlan += 1
+        port.vfs.append(self)
+
+    @property
+    def usable(self):
+        return self.link_up and not self.port.failed
+
+    def __repr__(self):
+        return (
+            f"<VF pod={self.pod_name} port={self.port.name} "
+            f"vlan={self.vlan_id} q={self.queue_pairs}>"
+        )
+
+
+class VfAllocator:
+    """Builds the standard Albatross NIC complement and allocates VFs.
+
+    Parameters:
+        numa_nodes: node count (NICs are split evenly: 2 cards per node).
+        cards_per_node: FPGA NICs per NUMA node.
+        vfs_per_pod: the HA design uses 4 (one per port of the node's
+            two cards).
+    """
+
+    def __init__(self, numa_nodes=2, cards_per_node=2, vfs_per_pod=4):
+        self.cards = []
+        card_index = 0
+        for node in range(numa_nodes):
+            for _ in range(cards_per_node):
+                self.cards.append(NicCard(card_index, node))
+                card_index += 1
+        self.vfs_per_pod = vfs_per_pod
+        self.allocations = {}
+
+    def cards_on_node(self, numa_node):
+        return [card for card in self.cards if card.numa_node == numa_node]
+
+    def ports_on_node(self, numa_node):
+        return [port for card in self.cards_on_node(numa_node) for port in card.ports]
+
+    def allocate(self, pod_name, numa_node, data_cores):
+        """Allocate the pod's VFs: one per port on its node, spread wide.
+
+        Returns the VF list.  Raises ValueError if the node lacks ports.
+        """
+        if pod_name in self.allocations:
+            raise ValueError(f"pod {pod_name!r} already has VFs")
+        ports = self.ports_on_node(numa_node)
+        if len(ports) < self.vfs_per_pod:
+            raise ValueError(
+                f"node {numa_node} has {len(ports)} ports; need {self.vfs_per_pod}"
+            )
+        vfs = [
+            VirtualFunction(port, pod_name, queue_pairs=data_cores)
+            for port in ports[: self.vfs_per_pod]
+        ]
+        self.allocations[pod_name] = vfs
+        return vfs
+
+    def release(self, pod_name):
+        vfs = self.allocations.pop(pod_name, [])
+        for vf in vfs:
+            vf.port.vfs.remove(vf)
+        return len(vfs)
+
+    def usable_vfs(self, pod_name):
+        return [vf for vf in self.allocations.get(pod_name, []) if vf.usable]
+
+    def pod_connected(self, pod_name):
+        """HA invariant: the pod keeps service while >= 1 VF is usable."""
+        return len(self.usable_vfs(pod_name)) > 0
+
+    def wire_switches(self, switches):
+        """Assign each port's uplink so no two ports of a pod share one.
+
+        ``switches`` is a list of switch identities (>= ports per node for
+        full independence, Fig. B.2(b)).
+        """
+        for node in sorted({card.numa_node for card in self.cards}):
+            for index, port in enumerate(self.ports_on_node(node)):
+                port.uplink_switch = switches[index % len(switches)]
+
+    def switch_failure_impact(self, pod_name, switch):
+        """How many of the pod's VFs a switch failure takes down."""
+        return sum(
+            1
+            for vf in self.allocations.get(pod_name, [])
+            if vf.port.uplink_switch == switch
+        )

@@ -1,0 +1,317 @@
+"""GW pod runtime and the Albatross server: the library's top-level API.
+
+A :class:`GwPodRuntime` is one containerized gateway: data cores running a
+service chain, ctrl cores (modelled via the priority path + BGP speaker),
+and a slice of the FPGA NIC pipeline.  An :class:`AlbatrossServer` hosts
+several pods on a dual-NUMA machine, placing each pod's cores and memory
+on one node (the §7 lesson) unless an experiment asks for cross-NUMA
+placement.
+
+Quick example::
+
+    from repro.sim import Simulator, RngRegistry, SECOND
+    from repro.core import AlbatrossServer, PodConfig
+
+    sim = Simulator()
+    server = AlbatrossServer(sim, RngRegistry(seed=1))
+    pod = server.add_pod(PodConfig(name="vpc-gw", data_cores=8))
+    # feed pod.ingress(packet) from a workload, then sim.run_until(...)
+"""
+
+from repro.core.nic import NicPipeline, NicPipelineConfig
+from repro.core.plb.reorder import ReorderQueueConfig
+from repro.cpu.cache import SharedL3Cache
+from repro.cpu.core import CpuCore, Verdict
+from repro.cpu.numa import NumaTopology
+from repro.cpu.service import MemoryTimings, ServiceChain, standard_services
+from repro.metrics.histogram import LatencyHistogram
+from repro.sim.units import SECOND
+
+
+def default_reorder_queue_count(data_cores):
+    """1-8 reorder queues, proportional to the pod's data cores (§4.1).
+
+    A 44-data-core production pod gets 4 queues; a 20-core pod gets 2.
+    """
+    return max(1, min(8, data_cores // 10))
+
+
+class PodConfig:
+    """Declarative description of one GW pod."""
+
+    def __init__(
+        self,
+        name,
+        data_cores,
+        ctrl_cores=2,
+        service="VPC-Internet",
+        mode="plb",
+        reorder_queues=None,
+        reorder_depth=4096,
+        rate_limiter=None,
+        drop_flag_enabled=True,
+        header_only=False,
+        meta_placement=None,
+        rx_capacity=1024,
+        acl_drop_probability=0.0,
+        silent_drop_probability=0.0,
+        jitter=None,
+        numa_node=None,
+        memory_node=None,
+        assumed_hit_rate=0.35,
+        table_scale=None,
+        memory_frequency_mhz=4800,
+        custom_service=None,
+    ):
+        if data_cores < 1:
+            raise ValueError("a pod needs at least one data core")
+        self.name = name
+        self.data_cores = data_cores
+        self.ctrl_cores = ctrl_cores
+        self.service = service
+        self.mode = mode
+        self.reorder_queues = (
+            reorder_queues
+            if reorder_queues is not None
+            else default_reorder_queue_count(data_cores)
+        )
+        self.reorder_depth = reorder_depth
+        self.rate_limiter = rate_limiter
+        self.drop_flag_enabled = drop_flag_enabled
+        self.header_only = header_only
+        self.meta_placement = meta_placement
+        self.rx_capacity = rx_capacity
+        self.acl_drop_probability = acl_drop_probability
+        self.silent_drop_probability = silent_drop_probability
+        self.jitter = jitter
+        self.numa_node = numa_node
+        self.memory_node = memory_node
+        self.assumed_hit_rate = assumed_hit_rate
+        self.table_scale = table_scale
+        self.memory_frequency_mhz = memory_frequency_mhz
+        self.custom_service = custom_service
+
+    @property
+    def total_cores(self):
+        return self.data_cores + self.ctrl_cores
+
+
+class GwPodRuntime:
+    """A running GW pod: cores + NIC pipeline slice + metrics."""
+
+    def __init__(self, sim, config, core_ids, rng, l3_cache=None, numa_factor=1.0):
+        self.sim = sim
+        self.config = config
+        self.rng = rng
+        self.latency_histogram = LatencyHistogram()
+        self.outcomes = {}
+        self._started_ns = sim.now
+
+        if config.custom_service is not None:
+            service = config.custom_service
+        else:
+            services = standard_services()
+            if config.service not in services:
+                raise ValueError(
+                    f"unknown service {config.service!r}; choose from {sorted(services)}"
+                )
+            service = services[config.service]
+        timings = MemoryTimings(memory_frequency_mhz=config.memory_frequency_mhz)
+        if l3_cache is not None:
+            scale = config.table_scale if config.table_scale is not None else 1.0
+            self.chain = ServiceChain(
+                service,
+                cache=l3_cache,
+                timings=timings,
+                table_scale=scale,
+            )
+        else:
+            self.chain = ServiceChain(
+                service,
+                timings=timings,
+                assumed_hit_rate=config.assumed_hit_rate,
+            )
+
+        nic_config = NicPipelineConfig(
+            mode=config.mode,
+            reorder=ReorderQueueConfig(config.reorder_queues, config.reorder_depth),
+            rate_limiter=config.rate_limiter,
+            drop_flag_enabled=config.drop_flag_enabled,
+            header_only=config.header_only,
+            **(
+                {"meta_placement": config.meta_placement}
+                if config.meta_placement is not None
+                else {}
+            ),
+        )
+
+        # Service time inflates for cross-NUMA placement; the HEAD
+        # meta-placement penalty (33.6% copy cost) is applied after the
+        # NIC pipeline computes its throughput factor below.
+        speed_factor = numa_factor
+
+        self.cores = []
+        self.nic = None  # assigned below; cores need the completion callback
+
+        def completion(packet, verdict, core):
+            self.nic.on_cpu_completion(packet, verdict, core)
+
+        for core_id in core_ids[: config.data_cores]:
+            core = CpuCore(
+                sim,
+                core_id,
+                self.chain,
+                completion,
+                verdict_fn=self._verdict,
+                jitter=config.jitter,
+                rx_capacity=config.rx_capacity,
+                speed_factor=speed_factor,
+            )
+            self.cores.append(core)
+
+        self.nic = NicPipeline(
+            sim, self.cores, nic_config, self._on_egress, protocol_fn=self._on_protocol
+        )
+        # Meta placement penalty applies to CPU processing, not the NIC.
+        if self.nic.cpu_throughput_factor != 1.0:
+            for core in self.cores:
+                core.speed_factor /= self.nic.cpu_throughput_factor
+        self.protocol_delivered = []
+
+    # -- behaviour hooks -------------------------------------------------
+
+    def _verdict(self, packet):
+        roll = self.rng.random()
+        if roll < self.config.acl_drop_probability:
+            return Verdict.DROP_ACL
+        if roll < self.config.acl_drop_probability + self.config.silent_drop_probability:
+            return Verdict.DROP_SILENT
+        return Verdict.FORWARD
+
+    def _on_egress(self, packet, outcome):
+        latency = packet.latency_ns
+        if latency is not None and packet.drop_reason is None:
+            self.latency_histogram.record(latency)
+        key = outcome.value if hasattr(outcome, "value") else str(outcome)
+        self.outcomes[key] = self.outcomes.get(key, 0) + 1
+
+    def _on_protocol(self, packet):
+        self.protocol_delivered.append((self.sim.now, packet))
+
+    # -- public API --------------------------------------------------------
+
+    def ingress(self, packet):
+        """Feed a packet into the pod's NIC slice."""
+        self.nic.ingress(packet)
+
+    @property
+    def counters(self):
+        return self.nic.counters
+
+    @property
+    def reorder_stats(self):
+        return self.nic.reorder.stats
+
+    def transmitted(self):
+        return self.nic.counters.get("tx_packets")
+
+    def throughput_mpps(self, window_ns=None):
+        """Achieved packet rate over the pod's lifetime (or a window)."""
+        elapsed = window_ns if window_ns is not None else self.sim.now - self._started_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.transmitted() * 1e3 / elapsed
+
+    def core_utilizations(self, window_ns):
+        return [core.stats.utilization(window_ns) for core in self.cores]
+
+    def expected_capacity_mpps(self):
+        """Nominal saturated capacity: data cores x per-core rate."""
+        return self.config.data_cores * self.chain.per_core_mpps()
+
+
+class AlbatrossServer:
+    """A dual-NUMA Albatross server hosting containerized gateways.
+
+    Parameters:
+        sim: the simulator.
+        rngs: an :class:`~repro.sim.RngRegistry`.
+        topology: NUMA topology (defaults to 2 x 48 cores).
+        cache_mode: ``"analytic"`` (expected hit rate; fast) or
+            ``"simulated"`` (shared LRU L3 per node; Fig. 4/5 mode).
+        l3_bytes: per-node L3 capacity for simulated mode.
+    """
+
+    POD_READY_SECONDS = 10  # container elasticity (Tab. 6)
+
+    def __init__(self, sim, rngs, topology=None, cache_mode="analytic", l3_bytes=None):
+        self.sim = sim
+        self.rngs = rngs
+        self.topology = topology if topology is not None else NumaTopology()
+        self.cache_mode = cache_mode
+        self.pods = {}
+        self._free_cores = {
+            node.node_id: list(node.core_ids) for node in self.topology.nodes
+        }
+        self._l3 = {}
+        if cache_mode == "simulated":
+            capacity = l3_bytes if l3_bytes is not None else 200 * (1 << 20)
+            for node in self.topology.nodes:
+                self._l3[node.node_id] = SharedL3Cache(capacity)
+        elif cache_mode != "analytic":
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
+
+    def l3_cache(self, node_id):
+        return self._l3.get(node_id)
+
+    def free_cores(self, node_id):
+        return len(self._free_cores[node_id])
+
+    def _pick_node(self, config):
+        if config.numa_node is not None:
+            if len(self._free_cores[config.numa_node]) < config.total_cores:
+                raise ValueError(
+                    f"NUMA node {config.numa_node} lacks {config.total_cores} cores"
+                )
+            return config.numa_node
+        for node_id, free in self._free_cores.items():
+            if len(free) >= config.total_cores:
+                return node_id
+        raise ValueError(f"no NUMA node has {config.total_cores} free cores")
+
+    def add_pod(self, config):
+        """Create and start a GW pod; returns its :class:`GwPodRuntime`."""
+        if config.name in self.pods:
+            raise ValueError(f"duplicate pod name {config.name!r}")
+        node_id = self._pick_node(config)
+        core_ids = [self._free_cores[node_id].pop(0) for _ in range(config.total_cores)]
+        memory_node = config.memory_node if config.memory_node is not None else node_id
+        numa_factor = self.topology.speed_factor(
+            node_id, memory_node, lookup_heavy=True
+        )
+        pod = GwPodRuntime(
+            self.sim,
+            config,
+            core_ids,
+            self.rngs.stream(f"pod.{config.name}"),
+            l3_cache=self._l3.get(memory_node),
+            numa_factor=numa_factor,
+        )
+        pod.numa_node = node_id
+        pod.memory_node = memory_node
+        pod.allocated_core_ids = core_ids
+        self.pods[config.name] = pod
+        return pod
+
+    def remove_pod(self, name):
+        """Tear a pod down and return its cores to the free pool."""
+        pod = self.pods.pop(name)
+        self._free_cores[pod.numa_node].extend(pod.allocated_core_ids)
+        return pod
+
+    def pod_ready_delay_ns(self):
+        """Container elasticity: a new pod is serving in ~10 seconds."""
+        return self.POD_READY_SECONDS * SECOND
+
+    def total_throughput_mpps(self):
+        return sum(pod.throughput_mpps() for pod in self.pods.values())

@@ -1,0 +1,217 @@
+"""The assembled FPGA NIC pipeline for one GW pod (Fig. 1, Fig. 3).
+
+Ingress: ``pkt_dir`` classification -> overload rate limiting -> PLB spray
+(or RSS pinning) -> DMA to the pod's RX data queues.
+
+Egress: CPU completion -> DMA back -> legal check -> reorder check ->
+deparser -> wire.  Explicit CPU drops take the active-drop-flag shortcut
+so reorder resources are released immediately.
+
+Per-module latencies come from Tab. 4 via
+:class:`~repro.core.resources.NicLatencyModel`.
+"""
+
+from repro.core.meta import MetaPlacement, placement_throughput_factor
+from repro.core.pktdir import DeliveryPath, PktDir
+from repro.core.plb.dispatch import PlbDispatcher
+from repro.core.plb.reorder import ReorderEngine, ReorderQueueConfig, TxOutcome
+from repro.core.priority import PriorityQueueManager
+from repro.core.resources import NicLatencyModel
+from repro.core.rss import RssDispatcher
+from repro.cpu.core import Verdict
+from repro.metrics.counters import CounterSet
+
+
+class NicPipelineConfig:
+    """Configuration for one pod's slice of the NIC pipeline."""
+
+    def __init__(
+        self,
+        mode="plb",
+        reorder=None,
+        rate_limiter=None,
+        drop_flag_enabled=True,
+        header_only=False,
+        meta_placement=MetaPlacement.TAIL,
+        latency_model=None,
+        session_offload=None,
+        pcie_link=None,
+    ):
+        if mode not in ("plb", "rss"):
+            raise ValueError(f"mode must be 'plb' or 'rss': {mode!r}")
+        self.mode = mode
+        self.reorder = reorder if reorder is not None else ReorderQueueConfig()
+        self.rate_limiter = rate_limiter
+        self.drop_flag_enabled = drop_flag_enabled
+        self.header_only = header_only
+        self.meta_placement = meta_placement
+        self.latency_model = (
+            latency_model if latency_model is not None else NicLatencyModel()
+        )
+        # Optional FpgaSessionOffload (§7 roadmap): established sessions
+        # are forwarded entirely on the FPGA fast path.
+        self.session_offload = session_offload
+        # Optional PcieLinkModel: accounts FPGA<->CPU bytes, honouring
+        # header-payload-split mode (appendix A).
+        self.pcie_link = pcie_link
+
+
+class NicPipeline:
+    """One GW pod's NIC data path.
+
+    Parameters:
+        sim: the simulator.
+        cores: the pod's data cores (``CpuCore``), RX-queue order.
+        config: a :class:`NicPipelineConfig`.
+        egress_fn: called as ``egress_fn(packet, outcome)`` when a packet
+            hits the wire (outcome is a
+            :class:`~repro.core.plb.reorder.TxOutcome` or ``"rss"``).
+        protocol_fn: handler for protocol packets delivered via the
+            priority path (defaults to a no-op).
+
+    The pod's cores must have been constructed with this pipeline's
+    :meth:`on_cpu_completion` as their completion callback (the
+    :mod:`~repro.core.gateway` runtime wires this up).
+    """
+
+    def __init__(self, sim, cores, config, egress_fn, protocol_fn=None):
+        self.sim = sim
+        self.cores = list(cores)
+        self.config = config
+        self.egress_fn = egress_fn
+        self.counters = CounterSet()
+        self.pkt_dir = PktDir(
+            DeliveryPath.PLB if config.mode == "plb" else DeliveryPath.RSS
+        )
+        self.latency = config.latency_model
+        self.reorder = ReorderEngine(sim, config.reorder, self._on_reorder_transmit)
+        self.plb = PlbDispatcher(self.cores, self.reorder, lambda: sim.now)
+        self.rss = RssDispatcher(self.cores)
+        self.rate_limiter = config.rate_limiter
+        self.session_offload = config.session_offload
+        self.pcie_link = config.pcie_link
+        self.priority = PriorityQueueManager(
+            sim, protocol_fn if protocol_fn is not None else lambda packet: None
+        )
+        # Meta placement only affects CPU-side throughput; model it as a
+        # service-time inflation factor applied by the gateway runtime.
+        self.cpu_throughput_factor = placement_throughput_factor(config.meta_placement)
+        self._rx_latency_ns = self.latency.rx_ns()
+        self._tx_dma_ns = self.latency.module_ns("dma", "tx")
+        self._tx_post_reorder_ns = self.latency.module_ns(
+            "plb", "tx"
+        ) + self.latency.module_ns("basic_pipeline", "tx")
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+
+    def ingress(self, packet):
+        """A packet arrives from the wire at the current sim time."""
+        packet.arrival_ns = self.sim.now
+        self.counters.incr("rx_packets")
+        path, header_only = self.pkt_dir.classify(packet)
+
+        if path is DeliveryPath.PRIORITY:
+            # Priority path skips the rate limiter and PLB entirely.
+            self.sim.schedule(self._rx_latency_ns, self.priority.enqueue, packet)
+            self.counters.incr("rx_priority")
+            return
+
+        if self.rate_limiter is not None:
+            decision = self.rate_limiter.admit(packet.vni, self.sim.now)
+            if not decision.allowed:
+                packet.drop_reason = f"rate_limit_{decision.value}"
+                self.counters.incr("rate_limited_drops")
+                return
+
+        if self.session_offload is not None and self.session_offload.lookup(
+            packet.flow
+        ):
+            # FPGA fast path: established session, CPU never sees it.
+            from repro.core.offload import FAST_PATH_LATENCY_NS
+
+            self.counters.incr("offload_fast_path")
+            self.sim.schedule(
+                FAST_PATH_LATENCY_NS, self._transmit, packet, "fpga_fast_path"
+            )
+            return
+
+        if path is DeliveryPath.PLB:
+            core = self.plb.dispatch(
+                packet, header_only=header_only or self.config.header_only
+            )
+            if core is None:
+                self.counters.incr("reorder_fifo_drops")
+                return
+        else:
+            core = self.rss.dispatch(packet)
+        self.counters.incr("dispatched")
+        self.sim.schedule(self._rx_latency_ns, self._deliver_to_core, packet, core)
+
+    def _deliver_to_core(self, packet, core):
+        if self.pcie_link is not None:
+            # RX crossing of the FPGA->CPU DMA.
+            self.pcie_link.record(packet.size, split=packet.header_only)
+        if not core.enqueue(packet):
+            # Silent driver loss: the NIC is never told.  For PLB packets
+            # this leaves a hole in the reorder FIFO -> HOL until timeout.
+            packet.drop_reason = "rx_queue_overflow"
+            self.counters.incr("rx_queue_drops")
+
+    # ------------------------------------------------------------------
+    # Egress
+    # ------------------------------------------------------------------
+
+    def on_cpu_completion(self, packet, verdict, core):
+        """Wired as every data core's completion callback."""
+        if verdict is Verdict.DROP_SILENT:
+            self.counters.incr("cpu_silent_drops")
+            return
+        if verdict is Verdict.DROP_ACL:
+            self.counters.incr("cpu_acl_drops")
+            if packet.meta is not None and self.config.drop_flag_enabled:
+                # Active drop flag: notify the NIC so reorder resources are
+                # released without waiting for the 100 us timeout.
+                self.sim.schedule(self._tx_dma_ns, self.reorder.notify_drop, packet)
+            # Without the flag (or under RSS) the drop is invisible to the
+            # NIC -- PLB pays for it with head-of-line blocking.
+            return
+        if self.session_offload is not None:
+            # Slow path forwarded a packet: maybe install the session.
+            self.session_offload.note_cpu_packet(packet.flow)
+        if self.pcie_link is not None:
+            # TX crossing of the CPU->FPGA DMA.
+            self.pcie_link.record(packet.size, split=packet.header_only)
+        if packet.meta is not None:
+            self.sim.schedule(self._tx_dma_ns, self.reorder.writeback, packet)
+        else:
+            # RSS path: no reordering, straight to the deparser.
+            self.sim.schedule(
+                self._tx_dma_ns + self._tx_post_reorder_ns, self._transmit, packet, "rss"
+            )
+
+    def _on_reorder_transmit(self, packet, outcome):
+        if outcome in (TxOutcome.RELEASED_DROP_FLAG, TxOutcome.DROPPED_PAYLOAD_GONE):
+            self.counters.incr(f"reorder_{outcome.value}")
+            return
+        self.sim.schedule(self._tx_post_reorder_ns, self._transmit, packet, outcome)
+
+    def _transmit(self, packet, outcome):
+        packet.departure_ns = self.sim.now
+        self.counters.incr("tx_packets")
+        self.egress_fn(packet, outcome)
+
+    # ------------------------------------------------------------------
+    # Control operations
+    # ------------------------------------------------------------------
+
+    def fallback_to_rss(self):
+        """§4.1 remediation 5: dynamically switch the pod from PLB to RSS."""
+        self.config.mode = "rss"
+        self.pkt_dir.set_default_data_path(DeliveryPath.RSS)
+        self.counters.incr("plb_fallbacks")
+
+    def restore_plb(self):
+        self.config.mode = "plb"
+        self.pkt_dir.set_default_data_path(DeliveryPath.PLB)

@@ -1,0 +1,116 @@
+"""The programmable ``pkt_dir`` packet classifier (§3.2).
+
+At NIC ingress, ``pkt_dir`` splits traffic into three paths:
+
+* **priority packets** -- protocol traffic (BGP/BFD) through dedicated
+  queues, immune to data-plane saturation;
+* **PLB packets** -- ordinary data traffic sprayed per packet;
+* **RSS packets** -- data traffic pinned per flow; this is both the
+  fallback mode and the home of stateful odds and ends (Zoonet probes,
+  health checks, vSwitch cache-learning packets) that must not be sprayed.
+
+Containers program the classification: each GW pod installs rules for its
+VNI range, including whether packets arrive whole or header-only.
+"""
+
+import enum
+
+from repro.packet.packet import PacketKind
+
+
+class DeliveryPath(enum.Enum):
+    """Which NIC path a packet takes after classification."""
+
+    PRIORITY = "priority"
+    PLB = "plb"
+    RSS = "rss"
+
+
+class PktDirRule:
+    """One programmable classification rule.
+
+    Matches on packet kind and (optionally) VNI and destination port;
+    yields a delivery path and delivery mode.  Rules are evaluated in
+    priority order (lower value first).
+    """
+
+    __slots__ = ("kind", "vni", "dst_port", "path", "header_only", "priority")
+
+    def __init__(
+        self,
+        path,
+        kind=None,
+        vni=None,
+        dst_port=None,
+        header_only=False,
+        priority=100,
+    ):
+        self.path = path
+        self.kind = kind
+        self.vni = vni
+        self.dst_port = dst_port
+        self.header_only = header_only
+        self.priority = priority
+
+    def matches(self, packet):
+        if self.kind is not None and packet.kind is not self.kind:
+            return False
+        if self.vni is not None and packet.vni != self.vni:
+            return False
+        if self.dst_port is not None and packet.flow.dst_port != self.dst_port:
+            return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"PktDirRule(path={self.path.value}, kind={self.kind}, "
+            f"vni={self.vni}, dst_port={self.dst_port}, prio={self.priority})"
+        )
+
+
+class PktDir:
+    """Rule table + default behaviour.
+
+    With no matching rule, protocol packets take the priority path,
+    stateful packets take RSS, and data packets take the pod's configured
+    default mode (PLB in production, RSS after a fallback switch).
+    """
+
+    def __init__(self, default_data_path=DeliveryPath.PLB):
+        self.default_data_path = default_data_path
+        self._rules = []
+        self.classified = {path: 0 for path in DeliveryPath}
+
+    def add_rule(self, rule):
+        """Install a rule; table is re-sorted by priority."""
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: r.priority)
+        return rule
+
+    def remove_rule(self, rule):
+        self._rules.remove(rule)
+
+    @property
+    def rules(self):
+        return list(self._rules)
+
+    def set_default_data_path(self, path):
+        """Switch the pod's data-plane mode (PLB <-> RSS fallback)."""
+        if path not in (DeliveryPath.PLB, DeliveryPath.RSS):
+            raise ValueError("default data path must be PLB or RSS")
+        self.default_data_path = path
+
+    def classify(self, packet):
+        """Return (DeliveryPath, header_only) for ``packet``."""
+        for rule in self._rules:
+            if rule.matches(packet):
+                self.classified[rule.path] += 1
+                return rule.path, rule.header_only
+        if packet.kind is PacketKind.PROTOCOL:
+            path = DeliveryPath.PRIORITY
+        elif packet.kind is PacketKind.STATEFUL:
+            path = DeliveryPath.RSS
+        else:
+            path = self.default_data_path
+        self.classified[path] += 1
+        return path, False

@@ -1,0 +1,17 @@
+"""Packet-level load balancing: dispatch (ingress) and reorder (egress)."""
+
+from repro.core.plb.dispatch import PlbDispatcher
+from repro.core.plb.reorder import (
+    ReorderEngine,
+    ReorderInfo,
+    ReorderQueueConfig,
+    TxOutcome,
+)
+
+__all__ = [
+    "PlbDispatcher",
+    "ReorderEngine",
+    "ReorderInfo",
+    "ReorderQueueConfig",
+    "TxOutcome",
+]

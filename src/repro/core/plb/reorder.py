@@ -1,0 +1,315 @@
+"""``plb_reorder``: the FIFO / BUF / BITMAP reorder engine (§4.1, Fig. 3).
+
+Data structures, mirroring the FPGA implementation:
+
+* **FIFO** -- one order-preserving queue per reorder queue; each element is
+  a reorder info (full PSN + arrival timestamp).  Bounded at ``depth``
+  entries (4K in production: 100 µs of packets at 40 Mpps).
+* **BUF**  -- packet storage indexed by ``psn[11:0]``; holds packets that
+  returned from the CPU but are not yet at the FIFO head.
+* **BITMAP** -- a lightweight mirror of BUF: (valid bit, PSN) per slot, the
+  only state the head-monitor has to consult per FPGA cycle.
+
+Egress processing:
+
+* **legal check** -- a packet returning from a TX data queue is valid iff
+  its ``psn[11:0]`` falls inside the FIFO's [head, tail) window.  Valid
+  packets are written to BUF/BITMAP; invalid ones (essentially timed-out
+  packets) are transmitted best-effort immediately (or dropped, if they
+  were header-only and the NIC already released the payload).
+* **reorder check** -- monitors the FIFO head.  Case 1: head older than
+  the timeout (100 µs) is released.  Case 2: valid bit 0 -> keep waiting.
+  Case 3: valid bit set but PSN mismatch -> a timed-out packet slipped
+  through the legal check; transmit it best-effort and keep waiting.
+  Case 4: PSN matches -> transmit in order.
+
+The **active drop flag** (§4.1 HOL handling) lets the CPU notify the NIC
+of explicit drops (ACL / rate limiting) so the reorder resources are
+released immediately instead of stalling the FIFO for 100 µs.
+
+The hardware busy-waits at the FPGA clock; the simulation is event-driven
+and exact: the head is re-examined whenever (a) a packet writes back,
+(b) the head changes, or (c) the head's timeout expires.
+"""
+
+import enum
+
+from repro.sim.units import US
+
+
+class TxOutcome(enum.Enum):
+    """How a packet left the reorder engine (or failed to)."""
+
+    IN_ORDER = "in_order"              # case 4: transmitted in order
+    BEST_EFFORT = "best_effort"        # late packet transmitted out of order
+    DROPPED_PAYLOAD_GONE = "payload_gone"  # header-only, payload released
+    RELEASED_DROP_FLAG = "drop_flag"   # CPU set the drop flag; slot released
+
+
+class ReorderInfo:
+    """FIFO element: one in-flight packet's order bookkeeping."""
+
+    __slots__ = ("psn", "enqueue_ns")
+
+    def __init__(self, psn, enqueue_ns):
+        self.psn = psn
+        self.enqueue_ns = enqueue_ns
+
+    def __repr__(self):
+        return f"ReorderInfo(psn={self.psn}, t={self.enqueue_ns})"
+
+
+class ReorderQueueConfig:
+    """Sizing knobs for the reorder queues."""
+
+    def __init__(self, queue_count=4, depth=4096, timeout_ns=100 * US):
+        if queue_count < 1:
+            raise ValueError("need at least one reorder queue")
+        if depth < 1 or depth > 4096:
+            # psn[11:0] indexing caps the per-queue depth at 4096.
+            raise ValueError("depth must be in [1, 4096]")
+        self.queue_count = queue_count
+        self.depth = depth
+        self.timeout_ns = timeout_ns
+
+
+class ReorderStats:
+    """Counters across all queues of one engine."""
+
+    __slots__ = (
+        "admitted",
+        "in_order",
+        "best_effort",
+        "timeout_releases",
+        "drop_flag_releases",
+        "stale_writebacks",
+        "payload_gone_drops",
+        "fifo_full",
+        "hol_events",
+    )
+
+    def __init__(self):
+        for slot in self.__slots__:
+            setattr(self, slot, 0)
+
+    @property
+    def transmitted(self):
+        return self.in_order + self.best_effort
+
+    def disorder_rate(self):
+        """Fraction of transmitted packets that left out of order."""
+        if self.transmitted == 0:
+            return 0.0
+        return self.best_effort / self.transmitted
+
+
+class _ReorderQueue:
+    """One FIFO + BUF + BITMAP triple."""
+
+    __slots__ = (
+        "fifo",
+        "buf",
+        "bitmap_valid",
+        "bitmap_psn",
+        "head_ptr",
+        "tail_ptr",
+        "timeout_event",
+    )
+
+    def __init__(self, depth):
+        from collections import deque
+
+        self.fifo = deque()
+        self.buf = [None] * 4096          # slot -> (packet, header_only)
+        self.bitmap_valid = [False] * 4096
+        self.bitmap_psn = [0] * 4096
+        self.head_ptr = 0                  # PSN of the current FIFO head
+        self.tail_ptr = 0                  # next PSN to assign
+        self.timeout_event = None
+
+
+class ReorderEngine:
+    """All reorder queues of one GW pod.
+
+    Parameters:
+        sim: the simulator (drives timeout events).
+        config: a :class:`ReorderQueueConfig`.
+        transmit_fn: called as ``transmit_fn(packet, outcome)`` whenever a
+            packet leaves the engine (in order or best effort).
+        payload_retention_ns: how long the NIC retains split payloads; a
+            late header-only packet whose payload aged out is dropped.
+    """
+
+    def __init__(self, sim, config, transmit_fn, payload_retention_ns=1_000 * US):
+        self.sim = sim
+        self.config = config
+        self.transmit_fn = transmit_fn
+        self.payload_retention_ns = payload_retention_ns
+        self.stats = ReorderStats()
+        self._queues = [_ReorderQueue(config.depth) for _ in range(config.queue_count)]
+
+    @property
+    def queue_count(self):
+        return self.config.queue_count
+
+    def occupancy(self, ordq):
+        """In-flight packets tracked by queue ``ordq``."""
+        return len(self._queues[ordq].fifo)
+
+    # ------------------------------------------------------------------
+    # Ingress side (called by PlbDispatcher)
+    # ------------------------------------------------------------------
+
+    def admit(self, ordq, now_ns):
+        """Reserve the next PSN in queue ``ordq`` and enqueue reorder info.
+
+        Returns the assigned PSN, or None if the FIFO is full.
+        """
+        queue = self._queues[ordq]
+        if len(queue.fifo) >= self.config.depth:
+            self.stats.fifo_full += 1
+            return None
+        psn = queue.tail_ptr
+        queue.tail_ptr += 1
+        queue.fifo.append(ReorderInfo(psn, now_ns))
+        self.stats.admitted += 1
+        if len(queue.fifo) == 1:
+            self._arm_timeout(ordq, queue)
+        return psn
+
+    # ------------------------------------------------------------------
+    # Egress side (called by the NIC TX path)
+    # ------------------------------------------------------------------
+
+    def writeback(self, packet):
+        """A packet returned from the CPU via a TX data queue.
+
+        Runs the legal check; valid packets land in BUF/BITMAP, invalid
+        ones leave best-effort immediately.  The drop flag releases the
+        packet's reorder slot without transmission.
+        """
+        meta = packet.meta
+        if meta is None:
+            raise ValueError("writeback of a packet without PLB meta")
+        queue = self._queues[meta.ordq]
+
+        if not self._legal_check(queue, meta.psn12):
+            # Timed-out packet whose slot has already been released.
+            self._transmit_late(packet)
+            self._drain(meta.ordq, queue)
+            return
+
+        slot = meta.psn12
+        if queue.bitmap_valid[slot]:
+            # Extremely late duplicate writeback into an occupied slot:
+            # forward the resident best-effort and take the slot over.
+            resident, header_only = queue.buf[slot]
+            self.stats.stale_writebacks += 1
+            self._transmit_best_effort(resident, header_only)
+        queue.buf[slot] = (packet, meta.header_only or packet.header_only)
+        queue.bitmap_valid[slot] = True
+        queue.bitmap_psn[slot] = meta.psn
+        if meta.drop:
+            # The CPU is telling us this packet was deliberately dropped --
+            # resources can be reclaimed the moment it reaches the head
+            # (immediately, if it is the head).
+            pass
+        self._drain(meta.ordq, queue)
+
+    def notify_drop(self, packet):
+        """Active drop-flag path: the CPU dropped ``packet`` explicitly."""
+        if packet.meta is None:
+            raise ValueError("drop notification without PLB meta")
+        packet.meta.drop = True
+        self.writeback(packet)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _legal_check(self, queue, psn12):
+        """Is ``psn12`` within the FIFO's [head, tail) window (mod 4096)?
+
+        Only the low 12 bits are compared, exactly as in the hardware; a
+        very stale packet can alias into the window (caught later by the
+        reorder check's PSN comparison, case 3).
+        """
+        outstanding = len(queue.fifo)
+        if outstanding == 0:
+            return False
+        offset = (psn12 - (queue.head_ptr & 0xFFF)) & 0xFFF
+        return offset < outstanding
+
+    def _drain(self, ordq, queue):
+        """Reorder check: release every in-order head that is ready."""
+        while queue.fifo:
+            head = queue.fifo[0]
+            slot = head.psn & 0xFFF
+            if not queue.bitmap_valid[slot]:
+                now = self.sim.now
+                if now - head.enqueue_ns >= self.config.timeout_ns:
+                    # Case 1: head timed out; release it unfulfilled.
+                    queue.fifo.popleft()
+                    queue.head_ptr = head.psn + 1
+                    self.stats.timeout_releases += 1
+                    self.stats.hol_events += 1
+                    continue
+                break  # Case 2: keep waiting for the CPU.
+            packet, header_only = queue.buf[slot]
+            if queue.bitmap_psn[slot] != head.psn:
+                # Case 3: a stale (timed-out) packet passed the legal check.
+                self.stats.stale_writebacks += 1
+                self._clear_slot(queue, slot)
+                self._transmit_best_effort(packet, header_only)
+                continue  # head still waits for its real packet
+            # Case 4: in-order transmission (or drop-flag release).
+            queue.fifo.popleft()
+            queue.head_ptr = head.psn + 1
+            self._clear_slot(queue, slot)
+            if packet.meta is not None and packet.meta.drop:
+                self.stats.drop_flag_releases += 1
+                self.transmit_fn(packet, TxOutcome.RELEASED_DROP_FLAG)
+            else:
+                self.stats.in_order += 1
+                self.transmit_fn(packet, TxOutcome.IN_ORDER)
+        self._arm_timeout(ordq, queue)
+
+    def _clear_slot(self, queue, slot):
+        queue.buf[slot] = None
+        queue.bitmap_valid[slot] = False
+
+    def _arm_timeout(self, ordq, queue):
+        """(Re)schedule the head-timeout event for this queue."""
+        if queue.timeout_event is not None:
+            queue.timeout_event.cancel()
+            queue.timeout_event = None
+        if not queue.fifo:
+            return
+        head = queue.fifo[0]
+        deadline = head.enqueue_ns + self.config.timeout_ns
+        delay = max(0, deadline - self.sim.now)
+        queue.timeout_event = self.sim.schedule(delay, self._on_timeout, ordq)
+
+    def _on_timeout(self, ordq):
+        queue = self._queues[ordq]
+        queue.timeout_event = None
+        self._drain(ordq, queue)
+
+    def _transmit_late(self, packet):
+        """A packet that failed the legal check: best-effort or drop."""
+        self._transmit_best_effort(packet, packet.header_only)
+
+    def _transmit_best_effort(self, packet, header_only):
+        if packet.meta is not None and packet.meta.drop:
+            # Late drop notification: nothing to send, nothing to release.
+            self.stats.drop_flag_releases += 1
+            return
+        if header_only:
+            age = self.sim.now - packet.meta.timestamp_ns
+            if age > self.payload_retention_ns:
+                self.stats.payload_gone_drops += 1
+                packet.drop_reason = "payload_released"
+                self.transmit_fn(packet, TxOutcome.DROPPED_PAYLOAD_GONE)
+                return
+        self.stats.best_effort += 1
+        self.transmit_fn(packet, TxOutcome.BEST_EFFORT)

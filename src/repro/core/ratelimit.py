@@ -1,0 +1,260 @@
+"""Gateway overload protection: the two-stage tenant rate limiter (§4.3).
+
+Assigning one meter per tenant would cost >200 MB of SRAM for 1M tenants;
+Albatross gets the same protection from ~2 MB via two stages:
+
+* **Stage 1 (color_table)** -- 4K entries indexed by ``VNI % 4096``.
+  Traffic within the coarse limit passes; the *excess* is marked and sent
+  to stage 2.
+* **Stage 2 (meter_table)** -- a hash table indexed by ``hash(VNI)``.
+  Marked traffic beyond the fine limit is dropped.
+
+So a tenant's effective ceiling is ``stage1_rate + stage2_rate`` (the
+Fig. 14 experiment uses 8 + 2 = 10 Mpps).
+
+Hash collisions in the meter table can rate-limit innocent tenants, so a
+**pre_check** table (128 entries) identifies heavy hitters -- sampled from
+meter-table activity, since heavy hitters dominate the samples -- and
+rate-limits them early in a dedicated **pre_meter** (128 entries), keeping
+them out of the shared meter table.  Top-tier tenants can be configured in
+pre_check to bypass rate limiting entirely.
+"""
+
+import enum
+
+from repro.packet.hashing import crc32_vni_hash
+from repro.sim.units import SECOND
+
+
+class RateLimitDecision(enum.Enum):
+    """Outcome of :meth:`TwoStageRateLimiter.admit` for one packet."""
+
+    ALLOW = "allow"                    # within the coarse limit
+    ALLOW_MARKED = "allow_marked"      # exceeded stage 1, within stage 2
+    DROP_METER = "drop_meter"          # exceeded both stages
+    ALLOW_PRE = "allow_pre"            # known heavy hitter, within pre_meter
+    DROP_PRE = "drop_pre"              # known heavy hitter, over pre_meter
+    BYPASS = "bypass"                  # configured to skip all limiting
+
+    @property
+    def allowed(self):
+        return self in (
+            RateLimitDecision.ALLOW,
+            RateLimitDecision.ALLOW_MARKED,
+            RateLimitDecision.ALLOW_PRE,
+            RateLimitDecision.BYPASS,
+        )
+
+
+class TokenBucket:
+    """Packet-rate token bucket with lazy refill.
+
+    ``rate_pps`` tokens accrue per second up to ``burst`` tokens.  Time is
+    integer nanoseconds; token state is kept in fractional tokens to avoid
+    rounding drift at low rates.
+    """
+
+    __slots__ = ("rate_pps", "burst", "_tokens", "_last_ns")
+
+    def __init__(self, rate_pps, burst=None):
+        if rate_pps <= 0:
+            raise ValueError(f"rate must be positive: {rate_pps}")
+        self.rate_pps = rate_pps
+        # Default burst: 10 ms worth of traffic, at least one packet.
+        self.burst = burst if burst is not None else max(1.0, rate_pps * 0.01)
+        self._tokens = float(self.burst)
+        self._last_ns = 0
+
+    def _refill(self, now_ns):
+        if now_ns > self._last_ns:
+            gained = (now_ns - self._last_ns) * self.rate_pps / SECOND
+            self._tokens = min(float(self.burst), self._tokens + gained)
+            self._last_ns = now_ns
+
+    def allow(self, now_ns, tokens=1.0):
+        """Consume ``tokens`` if available; returns True if admitted."""
+        self._refill(now_ns)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def tokens_at(self, now_ns):
+        self._refill(now_ns)
+        return self._tokens
+
+    def reconfigure(self, rate_pps, burst=None):
+        self.rate_pps = rate_pps
+        if burst is not None:
+            self.burst = burst
+            self._tokens = min(self._tokens, float(burst))
+
+
+class _HitterSampler:
+    """Sampled heavy-hitter detection over meter-table drops.
+
+    Each meter-table *drop* is sampled with probability ``1/sample_rate``;
+    a VNI whose sample count crosses ``threshold`` within ``window_ns`` is
+    promoted to the pre_check table.  Heavy hitters dominate drops, so the
+    promotion takes effect "in one second" as the paper states.
+    """
+
+    def __init__(self, rng, sample_rate=100, threshold=8, window_ns=SECOND):
+        self.rng = rng
+        self.sample_rate = sample_rate
+        self.threshold = threshold
+        self.window_ns = window_ns
+        self._counts = {}
+        self._window_start = 0
+
+    def observe(self, vni, now_ns):
+        """Record one meter drop; returns True when ``vni`` crosses the bar."""
+        if now_ns - self._window_start > self.window_ns:
+            self._counts.clear()
+            self._window_start = now_ns
+        if self.rng.randrange(self.sample_rate) != 0:
+            return False
+        count = self._counts.get(vni, 0) + 1
+        self._counts[vni] = count
+        return count >= self.threshold
+
+
+class TwoStageRateLimiter:
+    """The full §4.3 pipeline: pre_check -> color_table -> meter_table.
+
+    Parameters:
+        rng: random stream for the sampler.
+        stage1_rate_pps / stage2_rate_pps: per-entry limits.
+        color_entries: stage-1 table size (4K in hardware).
+        meter_entries: stage-2 hash-table size.
+        pre_entries: capacity of pre_check / pre_meter (128 in hardware).
+        pre_rate_pps: rate granted to promoted heavy hitters (defaults to
+            stage1 + stage2, i.e. the same effective ceiling).
+        auto_promote: enable sampling-based promotion into pre_check.
+    """
+
+    COLOR_ENTRY_BYTES = 32
+    METER_ENTRY_BYTES = 32
+    PRE_ENTRY_BYTES = 32
+
+    def __init__(
+        self,
+        rng,
+        stage1_rate_pps=8_000_000,
+        stage2_rate_pps=2_000_000,
+        color_entries=4096,
+        meter_entries=61440,
+        pre_entries=128,
+        pre_rate_pps=None,
+        auto_promote=True,
+        sample_rate=100,
+    ):
+        self.stage1_rate_pps = stage1_rate_pps
+        self.stage2_rate_pps = stage2_rate_pps
+        self.color_entries = color_entries
+        self.meter_entries = meter_entries
+        self.pre_entries = pre_entries
+        self.pre_rate_pps = (
+            pre_rate_pps if pre_rate_pps is not None else stage1_rate_pps + stage2_rate_pps
+        )
+        self.auto_promote = auto_promote
+        self._color = {}   # index -> TokenBucket (lazily materialized)
+        self._meter = {}
+        self._pre_meter = {}   # vni -> TokenBucket
+        self._bypass = set()
+        self._sampler = _HitterSampler(rng, sample_rate=sample_rate)
+        self.decisions = {decision: 0 for decision in RateLimitDecision}
+        self.promotions = 0
+
+    # -- configuration -------------------------------------------------
+
+    def add_bypass(self, vni):
+        """Exempt a top-tier tenant from all rate limiting."""
+        if len(self._bypass) + len(self._pre_meter) >= self.pre_entries:
+            raise ValueError("pre_check table full")
+        self._bypass.add(vni)
+
+    def promote_heavy_hitter(self, vni, rate_pps=None):
+        """Install ``vni`` into pre_check/pre_meter for early limiting.
+
+        Also the hook for the planned CPU-side proactive detection (§4.3).
+        Returns False when the 128-entry table is full.
+        """
+        if vni in self._pre_meter:
+            return True
+        if len(self._bypass) + len(self._pre_meter) >= self.pre_entries:
+            return False
+        self._pre_meter[vni] = TokenBucket(rate_pps or self.pre_rate_pps)
+        self.promotions += 1
+        return True
+
+    def demote(self, vni):
+        """Remove a tenant from the pre tables (burst over)."""
+        self._pre_meter.pop(vni, None)
+
+    @property
+    def pre_table_vnis(self):
+        return set(self._pre_meter)
+
+    # -- data path -------------------------------------------------------
+
+    def admit(self, vni, now_ns):
+        """Run one packet of tenant ``vni`` through the limiter."""
+        decision = self._admit(vni, now_ns)
+        self.decisions[decision] += 1
+        return decision
+
+    def _admit(self, vni, now_ns):
+        # pre_check stage: bypass and known heavy hitters.
+        if vni in self._bypass:
+            return RateLimitDecision.BYPASS
+        pre_bucket = self._pre_meter.get(vni)
+        if pre_bucket is not None:
+            if pre_bucket.allow(now_ns):
+                return RateLimitDecision.ALLOW_PRE
+            return RateLimitDecision.DROP_PRE
+
+        # Stage 1: coarse-grained color table.
+        color_index = vni % self.color_entries
+        color_bucket = self._color.get(color_index)
+        if color_bucket is None:
+            color_bucket = TokenBucket(self.stage1_rate_pps)
+            self._color[color_index] = color_bucket
+        if color_bucket.allow(now_ns):
+            return RateLimitDecision.ALLOW
+
+        # Stage 2: marked excess through the fine-grained meter table.
+        meter_index = crc32_vni_hash(vni, seed=0x3E7E) % self.meter_entries
+        meter_bucket = self._meter.get(meter_index)
+        if meter_bucket is None:
+            meter_bucket = TokenBucket(self.stage2_rate_pps)
+            self._meter[meter_index] = meter_bucket
+        if meter_bucket.allow(now_ns):
+            return RateLimitDecision.ALLOW_MARKED
+
+        if self.auto_promote and self._sampler.observe(vni, now_ns):
+            self.promote_heavy_hitter(vni)
+        return RateLimitDecision.DROP_METER
+
+    # -- accounting ------------------------------------------------------
+
+    def sram_bytes(self):
+        """Provisioned on-chip SRAM (hardware sizes all entries up front)."""
+        return (
+            self.color_entries * self.COLOR_ENTRY_BYTES
+            + self.meter_entries * self.METER_ENTRY_BYTES
+            + 2 * self.pre_entries * self.PRE_ENTRY_BYTES  # pre_check + pre_meter
+        )
+
+    @staticmethod
+    def naive_sram_bytes(tenants, entry_bytes=208):
+        """Per-tenant meters: what the paper rules out (>200 MB for 1M)."""
+        return tenants * entry_bytes
+
+    def meter_collision_pairs(self, vnis):
+        """Which of ``vnis`` share a meter-table entry (diagnostics)."""
+        by_index = {}
+        for vni in vnis:
+            index = crc32_vni_hash(vni, seed=0x3E7E) % self.meter_entries
+            by_index.setdefault(index, []).append(vni)
+        return [group for group in by_index.values() if len(group) > 1]

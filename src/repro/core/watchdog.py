@@ -1,0 +1,100 @@
+"""PLB health watchdog: automatic fallback to RSS (§4.1, remediation 5).
+
+"If the previous methods do not work and we are unable to pinpoint the
+root cause, the GW pod can dynamically switch from PLB mode to RSS mode
+to attempt remediation."  In production this is an operator action; the
+watchdog automates the trigger: it samples the reorder engine's HOL and
+disorder counters every period and falls back when they stay above
+threshold for ``strikes`` consecutive periods (a single noisy period is
+tolerated -- minor HOL is normal and handled by the timeout).
+
+The watchdog can also restore PLB after a configurable quiet interval,
+for operators who want auto-recovery rather than a sticky fallback.
+"""
+
+from repro.sim.units import SECOND
+
+
+class PlbWatchdog:
+    """Monitors one pod's reorder health and drives mode fallback.
+
+    Parameters:
+        sim: the simulator.
+        nic: the pod's :class:`~repro.core.nic.NicPipeline`.
+        hol_events_per_s_threshold: sustained HOL rate that trips a strike.
+        disorder_rate_threshold: sustained disorder fraction that trips.
+        strikes: consecutive bad periods before falling back.
+        period_ns: sampling period.
+        auto_restore_after_ns: restore PLB after this long in RSS
+            (None = stay in RSS until told otherwise).
+    """
+
+    def __init__(
+        self,
+        sim,
+        nic,
+        hol_events_per_s_threshold=1000.0,
+        disorder_rate_threshold=1e-3,
+        strikes=3,
+        period_ns=SECOND // 10,
+        auto_restore_after_ns=None,
+    ):
+        self.sim = sim
+        self.nic = nic
+        self.hol_events_per_s_threshold = hol_events_per_s_threshold
+        self.disorder_rate_threshold = disorder_rate_threshold
+        self.strikes = strikes
+        self.period_ns = period_ns
+        self.auto_restore_after_ns = auto_restore_after_ns
+        self.fallbacks = 0
+        self.restores = 0
+        self._strike_count = 0
+        self._last_hol = 0
+        self._last_best_effort = 0
+        self._last_transmitted = 0
+        self._fell_back_at = None
+        self._task = sim.every(period_ns, self._check)
+
+    @property
+    def in_fallback(self):
+        return self.nic.config.mode == "rss" and self._fell_back_at is not None
+
+    def _check(self):
+        stats = self.nic.reorder.stats
+        hol_delta = stats.hol_events - self._last_hol
+        best_effort_delta = stats.best_effort - self._last_best_effort
+        transmitted_delta = stats.transmitted - self._last_transmitted
+        self._last_hol = stats.hol_events
+        self._last_best_effort = stats.best_effort
+        self._last_transmitted = stats.transmitted
+
+        if self.in_fallback:
+            if (
+                self.auto_restore_after_ns is not None
+                and self.sim.now - self._fell_back_at >= self.auto_restore_after_ns
+            ):
+                self.nic.restore_plb()
+                self._fell_back_at = None
+                self._strike_count = 0
+                self.restores += 1
+            return
+
+        hol_rate = hol_delta * SECOND / self.period_ns
+        disorder = (
+            best_effort_delta / transmitted_delta if transmitted_delta else 0.0
+        )
+        unhealthy = (
+            hol_rate > self.hol_events_per_s_threshold
+            or disorder > self.disorder_rate_threshold
+        )
+        if unhealthy:
+            self._strike_count += 1
+            if self._strike_count >= self.strikes:
+                self.nic.fallback_to_rss()
+                self._fell_back_at = self.sim.now
+                self.fallbacks += 1
+        else:
+            self._strike_count = 0
+
+    def stop(self):
+        self._task.cancel()

@@ -1,0 +1,37 @@
+"""CPU substrate: cores, caches, services, NUMA, queues.
+
+Models the x86 side of Albatross: GW-pod data cores polling RX queues,
+per-packet service times driven by table lookups through an LRU L3-cache
+model, NUMA placement effects, and DPDK-style queue/mempool limits.
+"""
+
+from repro.cpu.cache import CacheStats, LruCacheModel, SharedL3Cache
+from repro.cpu.core import CoreStats, CpuCore, Verdict
+from repro.cpu.numa import NumaBalancer, NumaNode, NumaTopology
+from repro.cpu.queues import DpdkMempool, PacketQueue
+from repro.cpu.service import (
+    GatewayService,
+    MemoryTimings,
+    ServiceChain,
+    standard_services,
+)
+from repro.cpu.stateful import StatefulNfModel
+
+__all__ = [
+    "CacheStats",
+    "LruCacheModel",
+    "SharedL3Cache",
+    "CoreStats",
+    "CpuCore",
+    "Verdict",
+    "NumaBalancer",
+    "NumaNode",
+    "NumaTopology",
+    "DpdkMempool",
+    "PacketQueue",
+    "GatewayService",
+    "MemoryTimings",
+    "ServiceChain",
+    "standard_services",
+    "StatefulNfModel",
+]

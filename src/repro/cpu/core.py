@@ -1,0 +1,136 @@
+"""A gateway data core.
+
+Each data core owns one RX queue (its slice of the pod's VF queues) and
+processes packets one at a time; the per-packet service time comes from a
+:class:`~repro.cpu.service.ServiceChain` plus optional jitter.  When
+processing finishes, the verdict callback hands the packet back to the NIC
+pipeline's TX path (or records an explicit drop, which PLB's active drop
+flag turns into an immediate reorder-resource release).
+"""
+
+import enum
+
+
+class Verdict(enum.Enum):
+    """Outcome of CPU processing for one packet."""
+
+    FORWARD = "forward"
+    DROP_ACL = "drop_acl"          # explicit drop: ACL / rate-limit rule hit
+    DROP_SILENT = "drop_silent"    # driver-level loss: NIC never learns
+
+
+class CoreStats:
+    """Counters and busy-time accounting for one core."""
+
+    __slots__ = ("processed", "forwarded", "dropped", "busy_ns", "stall_ns")
+
+    def __init__(self):
+        self.processed = 0
+        self.forwarded = 0
+        self.dropped = 0
+        self.busy_ns = 0
+        self.stall_ns = 0
+
+    def utilization(self, window_ns):
+        """Busy fraction over a window (may exceed 1.0 if overloaded)."""
+        if window_ns <= 0:
+            return 0.0
+        return self.busy_ns / window_ns
+
+
+class CpuCore:
+    """One data core: RX queue + run-to-completion packet processing.
+
+    Parameters:
+        sim: the :class:`~repro.sim.Simulator`.
+        core_id: globally unique id (used by the mempool model).
+        chain: a :class:`~repro.cpu.service.ServiceChain` (or anything with
+            ``service_time_ns(packet)``).
+        completion_fn: called as ``completion_fn(packet, verdict, core)``
+            when processing finishes.
+        verdict_fn: optional; called per packet to decide the verdict
+            (defaults to always FORWARD).  This is where ACL-drop workloads
+            plug in.
+        jitter: optional :class:`~repro.cpu.service.JitterModel`.
+        rx_capacity: RX descriptor ring size.
+        speed_factor: scales service time (cross-NUMA penalty uses >1).
+    """
+
+    def __init__(
+        self,
+        sim,
+        core_id,
+        chain,
+        completion_fn,
+        verdict_fn=None,
+        jitter=None,
+        rx_capacity=1024,
+        speed_factor=1.0,
+    ):
+        from repro.cpu.queues import PacketQueue
+
+        self.sim = sim
+        self.core_id = core_id
+        self.chain = chain
+        self.completion_fn = completion_fn
+        self.verdict_fn = verdict_fn
+        self.jitter = jitter
+        self.speed_factor = speed_factor
+        self.rx_queue = PacketQueue(rx_capacity, name=f"core{core_id}-rx")
+        self.stats = CoreStats()
+        self._busy = False
+        self._pending_stall_ns = 0
+
+    @property
+    def busy(self):
+        return self._busy
+
+    @property
+    def rx_dropped(self):
+        """Packets lost to RX overflow (silent loss: the NIC is not told)."""
+        return self.rx_queue.dropped
+
+    def enqueue(self, packet):
+        """Deliver a packet to this core's RX queue.
+
+        Returns True if accepted; False means silent driver loss, which is
+        exactly the loss mode that creates reorder-FIFO head-of-line
+        blocking (§4.1).
+        """
+        accepted = self.rx_queue.push(packet)
+        if accepted and not self._busy:
+            self._start_next()
+        return accepted
+
+    def inject_stall(self, duration_ns):
+        """Stall the core before its next packet (NUMA balancing, IRQs)."""
+        self._pending_stall_ns += int(duration_ns)
+        self.stats.stall_ns += int(duration_ns)
+
+    def _start_next(self):
+        packet = self.rx_queue.pop()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        service_ns = self.chain.service_time_ns(packet)
+        if self.jitter is not None:
+            service_ns += self.jitter.draw_ns()
+        service_ns = int(service_ns * self.speed_factor)
+        if self._pending_stall_ns:
+            service_ns += self._pending_stall_ns
+            self._pending_stall_ns = 0
+        self.stats.busy_ns += service_ns
+        self.sim.schedule(service_ns, self._finish, packet)
+
+    def _finish(self, packet):
+        self.stats.processed += 1
+        verdict = (
+            self.verdict_fn(packet) if self.verdict_fn is not None else Verdict.FORWARD
+        )
+        if verdict is Verdict.FORWARD:
+            self.stats.forwarded += 1
+        else:
+            self.stats.dropped += 1
+        self.completion_fn(packet, verdict, self)
+        self._start_next()

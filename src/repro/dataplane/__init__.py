@@ -1,0 +1,33 @@
+"""Functional gateway dataplane: real bytes in, real bytes out.
+
+The CPU model in :mod:`repro.cpu` answers *how long* a gateway service
+takes; this package implements *what it does* -- the actual forwarding
+transformations Albatross's GW pods reuse from the 1st-gen x86 gateways:
+
+* :mod:`repro.dataplane.vxlan_gateway` -- VXLAN decap, inner lookup
+  (VM-NC mapping for east-west, LPM routes for north-south), re-encap,
+  TTL/checksum maintenance.
+* :mod:`repro.dataplane.snat` -- source NAT with port allocation over the
+  cuckoo session table (the canonical write-heavy stateful NF of §7).
+* :mod:`repro.dataplane.acl` -- priority-ordered 5-tuple classifier with
+  wildcards (the drop source behind the active-drop-flag story).
+
+Everything round-trips byte-exactly through the codecs in
+:mod:`repro.packet.headers`, so tests verify actual packet contents --
+TTL decrements, checksum updates, rewritten addresses -- not just
+counters.
+"""
+
+from repro.dataplane.acl import AclAction, AclClassifier, AclRule
+from repro.dataplane.snat import SnatNf, SnatPortExhausted
+from repro.dataplane.vxlan_gateway import ForwardAction, VxlanGateway
+
+__all__ = [
+    "AclAction",
+    "AclClassifier",
+    "AclRule",
+    "SnatNf",
+    "SnatPortExhausted",
+    "ForwardAction",
+    "VxlanGateway",
+]

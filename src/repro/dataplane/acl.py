@@ -1,0 +1,115 @@
+"""Priority-ordered ACL classifier with wildcard fields.
+
+The drop source of §4.1's HOL story: when a packet matches a deny rule,
+the GW pod drops it -- and under PLB must tell the NIC via the active
+drop flag.  Rules match on masked IPs, port ranges and protocol; lowest
+priority value wins, with an explicit default action.
+"""
+
+import enum
+
+
+class AclAction(enum.Enum):
+    PERMIT = "permit"
+    DENY = "deny"
+
+
+class AclRule:
+    """One rule: masked 5-tuple match plus action and priority.
+
+    ``src``/``dst`` are ``(address, prefix_length)`` or None (any);
+    ``src_ports``/``dst_ports`` are inclusive ``(low, high)`` ranges or
+    None; ``proto`` is an IP protocol number or None.
+    """
+
+    __slots__ = ("name", "action", "priority", "src", "dst", "src_ports", "dst_ports", "proto")
+
+    def __init__(
+        self,
+        name,
+        action,
+        priority=1000,
+        src=None,
+        dst=None,
+        src_ports=None,
+        dst_ports=None,
+        proto=None,
+    ):
+        for bounds in (src_ports, dst_ports):
+            if bounds is not None and bounds[0] > bounds[1]:
+                raise ValueError(f"rule {name!r}: empty port range {bounds}")
+        for prefix in (src, dst):
+            if prefix is not None and not 0 <= prefix[1] <= 32:
+                raise ValueError(f"rule {name!r}: bad prefix length {prefix[1]}")
+        self.name = name
+        self.action = action
+        self.priority = priority
+        self.src = src
+        self.dst = dst
+        self.src_ports = src_ports
+        self.dst_ports = dst_ports
+        self.proto = proto
+
+    @staticmethod
+    def _prefix_matches(prefix, address):
+        if prefix is None:
+            return True
+        base, length = prefix
+        if length == 0:
+            return True
+        mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF
+        return (address & mask) == (base & mask)
+
+    @staticmethod
+    def _range_matches(bounds, value):
+        return bounds is None or bounds[0] <= value <= bounds[1]
+
+    def matches(self, flow):
+        return (
+            self._prefix_matches(self.src, flow.src_ip)
+            and self._prefix_matches(self.dst, flow.dst_ip)
+            and self._range_matches(self.src_ports, flow.src_port)
+            and self._range_matches(self.dst_ports, flow.dst_port)
+            and (self.proto is None or self.proto == flow.proto)
+        )
+
+    def __repr__(self):
+        return f"AclRule({self.name!r}, {self.action.value}, prio={self.priority})"
+
+
+class AclClassifier:
+    """Ordered rule table with per-rule hit counters."""
+
+    def __init__(self, default_action=AclAction.PERMIT):
+        self.default_action = default_action
+        self._rules = []
+        self.hits = {}
+        self.default_hits = 0
+
+    def add_rule(self, rule):
+        self._rules.append(rule)
+        self._rules.sort(key=lambda r: r.priority)
+        self.hits[rule.name] = 0
+        return rule
+
+    def remove_rule(self, name):
+        before = len(self._rules)
+        self._rules = [rule for rule in self._rules if rule.name != name]
+        self.hits.pop(name, None)
+        return len(self._rules) < before
+
+    @property
+    def rules(self):
+        return list(self._rules)
+
+    def classify(self, flow):
+        """Return (action, matching rule or None)."""
+        for rule in self._rules:
+            if rule.matches(flow):
+                self.hits[rule.name] += 1
+                return rule.action, rule
+        self.default_hits += 1
+        return self.default_action, None
+
+    def permits(self, flow):
+        return self.classify(flow)[0] is AclAction.PERMIT

@@ -1,0 +1,133 @@
+"""Source NAT: the canonical write-heavy stateful NF (§7).
+
+Private flows leaving the VPC are rewritten to a public IP with an
+allocated source port; return traffic is matched on the translated
+5-tuple and restored.  Sessions live in the cuckoo
+:class:`~repro.tables.session.SessionTable`; per-packet counters on the
+session are exactly the write-heavy pattern whose multi-core behaviour
+§7 analyses.
+"""
+
+from repro.packet.flows import FlowKey
+from repro.tables.session import Session, SessionTable, SessionTableFull
+
+
+class SnatPortExhausted(Exception):
+    """No free public port for a new session."""
+
+
+class SnatNf:
+    """Source NAT to one public IP.
+
+    Parameters:
+        public_ip: the translated source address.
+        port_range: inclusive (low, high) pool of public source ports.
+        table: optional shared :class:`SessionTable`.
+    """
+
+    def __init__(self, public_ip, port_range=(1024, 65535), table=None):
+        if port_range[0] > port_range[1]:
+            raise ValueError(f"empty port range {port_range}")
+        self.public_ip = public_ip
+        self.port_range = port_range
+        self.table = table if table is not None else SessionTable(buckets=8192)
+        self._next_port = port_range[0]
+        self._ports_in_use = set()
+        # Reverse index: translated (public) flow key -> original flow.
+        self._reverse = {}
+        self.translations = 0
+        self.restores = 0
+
+    # -- port pool ---------------------------------------------------------
+
+    def _allocate_port(self):
+        low, high = self.port_range
+        span = high - low + 1
+        for _ in range(span):
+            candidate = self._next_port
+            self._next_port += 1
+            if self._next_port > high:
+                self._next_port = low
+            if candidate not in self._ports_in_use:
+                self._ports_in_use.add(candidate)
+                return candidate
+        raise SnatPortExhausted(f"all {span} ports in use")
+
+    @property
+    def ports_in_use(self):
+        return len(self._ports_in_use)
+
+    # -- outbound ------------------------------------------------------------
+
+    def translate(self, flow, now_ns=0, size=0):
+        """Translate an outbound flow; returns the rewritten FlowKey.
+
+        Creates the session on first packet; later packets reuse it and
+        bump its counters (the write-heavy part).
+        """
+        session = self.table.lookup(flow)
+        if session is None:
+            port = self._allocate_port()
+            session = Session(flow, translated_port=port, created_ns=now_ns)
+            try:
+                self.table.insert(session)
+            except SessionTableFull:
+                self._ports_in_use.discard(port)
+                raise
+            translated = FlowKey(
+                self.public_ip, flow.dst_ip, port, flow.dst_port, flow.proto
+            )
+            self._reverse[translated] = flow
+        session.touch(size, now_ns)
+        self.translations += 1
+        return FlowKey(
+            self.public_ip,
+            flow.dst_ip,
+            session.translated_port,
+            flow.dst_port,
+            flow.proto,
+        )
+
+    # -- inbound ---------------------------------------------------------------
+
+    def restore(self, flow, now_ns=0, size=0):
+        """Restore an inbound (return-direction) flow, or None if unknown.
+
+        ``flow`` is the return traffic as seen on the wire:
+        remote -> (public_ip, translated_port).
+        """
+        translated = flow.reversed()
+        original = self._reverse.get(translated)
+        if original is None:
+            return None
+        session = self.table.lookup(original)
+        if session is not None:
+            session.touch(size, now_ns)
+        self.restores += 1
+        return original.reversed()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close_session(self, flow):
+        """Tear down the session for an original outbound flow."""
+        session = self.table.lookup(flow)
+        if session is None:
+            return False
+        translated = FlowKey(
+            self.public_ip, flow.dst_ip, session.translated_port, flow.dst_port,
+            flow.proto,
+        )
+        self._reverse.pop(translated, None)
+        self._ports_in_use.discard(session.translated_port)
+        return self.table.remove(flow)
+
+    def expire_idle(self, cutoff_ns):
+        """Age out idle sessions; reclaims their ports.  Returns count."""
+        stale = []
+        for bucket in self.table._table:
+            for session in bucket:
+                if session.last_seen_ns < cutoff_ns:
+                    stale.append(session.flow)
+        for flow in stale:
+            self.close_session(flow)
+        return len(stale)

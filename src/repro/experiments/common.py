@@ -1,0 +1,148 @@
+"""Shared experiment machinery.
+
+Experiments run *scaled down*: the paper's 88-core, 120 Mpps server
+becomes a handful of cores at ~0.1-1 Mpps each, with every ratio that
+matters (load fraction, heavy-hitter multiple, cache-to-table ratio,
+timeout-to-service-time ratio) preserved.  ``ScaledPod`` centralizes that
+scaling so each experiment states only its paper-level parameters.
+"""
+
+from repro.core.gateway import AlbatrossServer, PodConfig
+from repro.cpu.service import GatewayService, LookupSpec
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class ExperimentResult:
+    """Container for an experiment's output rows.
+
+    ``rows`` is a list of dicts, one per output line (a table row or a
+    figure series point); ``meta`` carries scalars (summaries, paper
+    reference values).
+    """
+
+    def __init__(self, name, rows, meta=None):
+        self.name = name
+        self._rows = list(rows)
+        self.meta = dict(meta or {})
+
+    def rows(self):
+        return list(self._rows)
+
+    def column(self, key):
+        return [row[key] for row in self._rows]
+
+    def print_table(self):
+        print(f"\n== {self.name} ==")
+        print(format_table(self._rows))
+        for key, value in self.meta.items():
+            print(f"  {key}: {value}")
+
+    def __repr__(self):
+        return f"<ExperimentResult {self.name}: {len(self._rows)} rows>"
+
+
+def format_table(rows):
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [
+        {col: _fmt(row.get(col)) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(row[col]) for row in rendered)) for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    divider = "  ".join("-" * widths[col] for col in columns)
+    body = "\n".join(
+        "  ".join(row[col].ljust(widths[col]) for col in columns) for row in rendered
+    )
+    return f"{header}\n{divider}\n{body}"
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def scaled_service(name="scaled", per_core_pps=100_000, lookups=4):
+    """A synthetic service whose saturated per-core rate is ``per_core_pps``.
+
+    Uses the analytic 35% hit-rate lookup cost to solve for base_ns, so the
+    paper-level per-core ratios carry over exactly at laptop packet rates.
+    """
+    from repro.cpu.service import MemoryTimings
+
+    timings = MemoryTimings()
+    lookup_ns = timings.expected_lookup_ns(0.35)
+    total_ns = 1e9 / per_core_pps
+    base_ns = max(1, int(total_ns - lookups * lookup_ns))
+    specs = [LookupSpec(f"table{i}", 1_000_000, 256) for i in range(lookups)]
+    return GatewayService(name, base_ns, specs)
+
+
+class ScaledPod:
+    """A GW pod plus simulator, ready for workload injection.
+
+    Parameters mirror :class:`~repro.core.gateway.PodConfig` but with a
+    synthetic service calibrated to ``per_core_pps``.
+    """
+
+    def __init__(
+        self,
+        data_cores=4,
+        per_core_pps=100_000,
+        mode="plb",
+        seed=1,
+        reorder_queues=None,
+        rate_limiter=None,
+        drop_flag_enabled=True,
+        acl_drop_probability=0.0,
+        silent_drop_probability=0.0,
+        jitter=None,
+        rx_capacity=1024,
+        lookups=4,
+        numa_node=None,
+        memory_node=None,
+    ):
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed=seed)
+        self.server = AlbatrossServer(self.sim, self.rngs)
+        self.per_core_pps = per_core_pps
+        config = PodConfig(
+            name="pod",
+            data_cores=data_cores,
+            mode=mode,
+            reorder_queues=reorder_queues,
+            rate_limiter=rate_limiter,
+            drop_flag_enabled=drop_flag_enabled,
+            acl_drop_probability=acl_drop_probability,
+            silent_drop_probability=silent_drop_probability,
+            jitter=jitter,
+            rx_capacity=rx_capacity,
+            numa_node=numa_node,
+            memory_node=memory_node,
+            custom_service=scaled_service(per_core_pps=per_core_pps, lookups=lookups),
+        )
+        self.pod = self.server.add_pod(config)
+
+    @property
+    def capacity_pps(self):
+        return self.per_core_pps * self.pod.config.data_cores
+
+    def run_for(self, duration_ns):
+        self.sim.run_until(self.sim.now + duration_ns)
+
+    def egress_counts_by_vni(self):
+        """Install and return a per-VNI egress counter (call before running)."""
+        counts = {}
+        original = self.pod.nic.egress_fn
+
+        def counting(packet, outcome):
+            counts[packet.vni] = counts.get(packet.vni, 0) + 1
+            original(packet, outcome)
+
+        self.pod.nic.egress_fn = counting
+        return counts

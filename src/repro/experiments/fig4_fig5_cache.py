@@ -1,0 +1,102 @@
+"""Fig. 4 (PLB vs RSS per-core performance) and Fig. 5 (L3 hit rate).
+
+The surprise result of §4.2: for the VPC-Internet workload with 500K
+concurrent flows, PLB and RSS deliver per-core throughput within 1% of
+each other at 1, 20 and 40 cores -- because the multi-GB tables blow
+through the ~200 MB shared L3 either way, leaving both modes at a 30-45%
+hit rate.
+
+Scaled replay: table regions and the L3 model are shrunk by the same
+factor, preserving the working-set-to-cache ratio; flows are
+Zipf-distributed (hot tenants) as in production.  The hit rate is
+*emergent* from the LRU model, not assumed.
+"""
+
+from repro.core.gateway import AlbatrossServer, PodConfig
+from repro.experiments.common import ExperimentResult
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.units import MS
+from repro.workloads.generators import CbrSource, zipf_population
+
+TABLE_SCALE = 1 / 400          # multi-GB tables -> ~7 MB regions
+L3_BYTES = 200 * (1 << 20) // 400  # 200 MB L3 -> 512 KB, same ratio
+FLOWS = 5000                   # scaled concurrent-flow population
+ZIPF_EXPONENT = 0.7            # calibrated: lands in the 30-45% regime
+
+
+def run(core_counts=(1, 2, 4), per_run_ns=60 * MS, service="VPC-Internet"):
+    """One row per (mode, cores): per-core throughput and L3 hit rate.
+
+    ``core_counts`` defaults to laptop scale; pass (1, 20, 40) for the
+    paper's axis (slower).
+    """
+    rows = []
+    for cores in core_counts:
+        measurements = {}
+        for mode in ("rss", "plb"):
+            measurements[mode] = _run_point(mode, cores, per_run_ns, service)
+        for mode in ("rss", "plb"):
+            per_core, hit_rate = measurements[mode]
+            rows.append(
+                {
+                    "cores": cores,
+                    "mode": mode,
+                    "per_core_kpps": round(per_core / 1e3, 1),
+                    "l3_hit_rate": round(hit_rate, 3),
+                }
+            )
+        rss_rate = measurements["rss"][0]
+        plb_rate = measurements["plb"][0]
+        gap = abs(plb_rate - rss_rate) / rss_rate if rss_rate else 0.0
+        rows[-1]["plb_vs_rss_gap_pct"] = round(gap * 100, 2)
+        rows[-2]["plb_vs_rss_gap_pct"] = round(gap * 100, 2)
+    return ExperimentResult(
+        "Fig. 4/5: PLB vs RSS per-core performance and L3 hit rate",
+        rows,
+        meta={
+            "paper": "<1% gap; 30-45% hit rate",
+            "table_scale": TABLE_SCALE,
+            "l3_bytes": L3_BYTES,
+            "flows": FLOWS,
+        },
+    )
+
+
+def _run_point(mode, cores, duration_ns, service):
+    sim = Simulator()
+    rngs = RngRegistry(seed=83)
+    server = AlbatrossServer(sim, rngs, cache_mode="simulated", l3_bytes=L3_BYTES)
+    pod = server.add_pod(
+        PodConfig(
+            name="pod",
+            data_cores=cores,
+            service=service,
+            mode=mode,
+            table_scale=TABLE_SCALE,
+        )
+    )
+    population = zipf_population(FLOWS, exponent=ZIPF_EXPONENT, tenants=max(1, FLOWS // 4))
+    # Saturate: offer 30% above the analytic capacity estimate.
+    capacity_pps = pod.expected_capacity_mpps() * 1e6
+    CbrSource(
+        sim,
+        rngs.stream("traffic"),
+        pod.ingress,
+        population,
+        rate_pps=int(capacity_pps * 1.3),
+    )
+    # Warm the cache before measuring.
+    warmup_ns = duration_ns // 3
+    sim.run_until(warmup_ns)
+    cache = server.l3_cache(pod.memory_node)
+    cache.stats.reset()
+    processed_before = sum(core.stats.processed for core in pod.cores)
+    busy_before = sum(core.stats.busy_ns for core in pod.cores)
+    sim.run_until(warmup_ns + duration_ns)
+    processed = sum(core.stats.processed for core in pod.cores) - processed_before
+    busy_ns = sum(core.stats.busy_ns for core in pod.cores) - busy_before
+    # Busy-normalized per-core rate: isolates the cache effect from RSS's
+    # hash imbalance (which is Fig. 8's story, not Fig. 4's).
+    per_core_pps = processed * 1e9 / busy_ns if busy_ns else 0.0
+    return per_core_pps, cache.stats.hit_rate

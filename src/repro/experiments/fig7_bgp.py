@@ -1,0 +1,116 @@
+"""Fig. 7 / §5: BGP proxy vs direct pod peering.
+
+Without the proxy, every GW pod holds an eBGP session with the uplink
+switch: 32 servers x m pods quickly blows past the switch's 64-peer safe
+threshold, and convergence after an abnormal event degrades to tens of
+minutes.  With a per-server proxy, the switch sees one peer per server.
+
+This driver does both the arithmetic (peer counts and the convergence
+model across pod densities) and an end-to-end protocol run: pods
+establish iBGP to the proxy, the proxy eBGP to the switch, routes
+propagate, a pod death withdraws them.
+"""
+
+from repro.bgp.fsm import establish_pair
+from repro.bgp.proxy import BgpProxy
+from repro.bgp.speaker import BgpSpeaker
+from repro.bgp.switch import (
+    SAFE_PEER_THRESHOLD,
+    UplinkSwitch,
+    direct_peering_count,
+    proxied_peering_count,
+)
+from repro.experiments.common import ExperimentResult
+from repro.sim.engine import Simulator
+from repro.sim.units import SECOND
+
+SERVERS_PER_SWITCH = 32
+
+
+def run_peer_scaling(pod_densities=(1, 2, 4, 8)):
+    """Peer counts and modelled convergence for each pod density."""
+    rows = []
+    for pods in pod_densities:
+        direct = direct_peering_count(SERVERS_PER_SWITCH, pods)
+        proxied = proxied_peering_count(SERVERS_PER_SWITCH)
+        rows.append(
+            {
+                "pods_per_server": pods,
+                "direct_peers": direct,
+                "direct_over_threshold": direct > SAFE_PEER_THRESHOLD,
+                "direct_convergence_s": round(
+                    UplinkSwitch.convergence_time_ns(direct) / SECOND, 1
+                ),
+                "proxy_peers": proxied,
+                "proxy_convergence_s": round(
+                    UplinkSwitch.convergence_time_ns(proxied) / SECOND, 1
+                ),
+            }
+        )
+    return ExperimentResult(
+        "Fig. 7: switch BGP peers, direct vs proxy",
+        rows,
+        meta={
+            "safe_threshold": SAFE_PEER_THRESHOLD,
+            "servers_per_switch": SERVERS_PER_SWITCH,
+            "paper": "direct peering caps density at 2 pods/server",
+        },
+    )
+
+
+def run_protocol(pods=4, hold_time_s=9):
+    """End-to-end run: pod routes reach the switch through the proxy."""
+    sim = Simulator()
+    switch = UplinkSwitch(sim, "switch")
+    proxy = BgpProxy(
+        sim,
+        "proxy",
+        asn=65100,
+        bgp_id=0x0A000100,
+        switch_peer_name="switch",
+        router_ip=0x0A000100,
+    )
+    establish_pair(sim, proxy, switch, hold_time_s=hold_time_s)
+
+    pod_speakers = []
+    for index in range(pods):
+        pod = BgpSpeaker(
+            sim,
+            f"pod{index}",
+            asn=65100,  # iBGP: same AS as the proxy
+            bgp_id=0x0A000200 + index,
+            router_ip=0x0A000200 + index,
+        )
+        establish_pair(sim, pod, proxy, hold_time_s=hold_time_s)
+        pod_speakers.append(pod)
+    sim.run_until(1 * SECOND)
+
+    # Each pod advertises its VIP /32.
+    for index, pod in enumerate(pod_speakers):
+        pod.advertise(0x0A640000 + index, 32)
+    sim.run_until(2 * SECOND)
+    routes_at_switch = switch.route_count()
+    switch_peers = switch.peer_count
+
+    # Kill pod 0: its route must be withdrawn from the switch.
+    pod_speakers[0].sessions["proxy"].stop("pod_died")
+    sim.run_until(3 * SECOND)
+    routes_after_death = switch.route_count()
+
+    rows = [
+        {
+            "stage": "after advertisement",
+            "switch_peers": switch_peers,
+            "switch_routes": routes_at_switch,
+        },
+        {
+            "stage": "after pod0 death",
+            "switch_peers": switch_peers,
+            "switch_routes": routes_after_death,
+        },
+    ]
+    return ExperimentResult(
+        "Fig. 7 protocol run: proxy re-export and withdrawal",
+        rows,
+        meta={"pods": pods, "expected_routes": pods, "expected_after_death": pods - 1},
+    )

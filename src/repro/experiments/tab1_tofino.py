@@ -1,0 +1,61 @@
+"""Tab. 1: Sailfish's Tofino resource consumption -- and why it was stuck.
+
+Reproduces the motivation table: the representative Sailfish programs
+allocated onto folded 24-stage pipelines land on Tab. 1's utilization
+(pipes 0,2: SRAM 69.2% / TCAM 40.3% / PHV 97.0%; pipes 1,3: 96.4% /
+66.7% / 82.3%), and every evolution attempt the paper lists fails to
+compile for exactly the stated reason:
+
+* new packet headers (Geneve, NSH)  -> PHV overflow;
+* a new large table                  -> SRAM exhaustion on pipes 1,3;
+* a long-chained function            -> stage-count overflow.
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.tofino.allocator import PipelineAllocator
+from repro.tofino.resources import PipelineSpec
+from repro.tofino.sailfish import (
+    TAB1_PIPE02,
+    TAB1_PIPE13,
+    new_feature_attempts,
+    sailfish_egress_program,
+    sailfish_ingress_program,
+)
+
+
+def run():
+    spec = PipelineSpec().folded()
+    allocator = PipelineAllocator(spec)
+    programs = {
+        "ingress": sailfish_ingress_program(),
+        "egress": sailfish_egress_program(),
+    }
+    rows = []
+    for label, paper in (("Pipeline0,2", TAB1_PIPE02), ("Pipeline1,3", TAB1_PIPE13)):
+        key = "ingress" if label == "Pipeline0,2" else "egress"
+        result = allocator.allocate(programs[key])
+        sram, tcam, phv = result.utilization_row()
+        rows.append(
+            {
+                "pipeline": label,
+                "sram_pct": sram,
+                "paper_sram": paper["sram"],
+                "tcam_pct": tcam,
+                "paper_tcam": paper["tcam"],
+                "phv_pct": phv,
+                "paper_phv": paper["phv"],
+                "stages_used": result.stages_used,
+            }
+        )
+
+    failures = {}
+    for label, (target, mutate) in new_feature_attempts().items():
+        mutated = mutate(programs[target])
+        _, error = allocator.try_allocate(mutated)
+        failures[label] = error.cause if error is not None else "compiled"
+
+    return ExperimentResult(
+        "Tab. 1: Tofino resource consumption by Sailfish",
+        rows,
+        meta={"evolution_attempts": failures},
+    )

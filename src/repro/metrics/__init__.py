@@ -1,0 +1,15 @@
+"""Measurement utilities: histograms, counters, utilization sampling."""
+
+from repro.metrics.counters import CounterSet
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.summary import UtilizationSampler, stddev
+from repro.metrics.trace import PacketTrace, PacketTracer
+
+__all__ = [
+    "CounterSet",
+    "LatencyHistogram",
+    "UtilizationSampler",
+    "stddev",
+    "PacketTrace",
+    "PacketTracer",
+]

@@ -1,0 +1,30 @@
+"""Named counters with snapshot/delta support."""
+
+
+class CounterSet:
+    """A dict of integer counters with convenience arithmetic."""
+
+    def __init__(self):
+        self._counts = {}
+
+    def incr(self, name, amount=1):
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def get(self, name):
+        return self._counts.get(name, 0)
+
+    def snapshot(self):
+        return dict(self._counts)
+
+    def delta(self, previous_snapshot):
+        """Per-counter change since ``previous_snapshot``."""
+        return {
+            name: value - previous_snapshot.get(name, 0)
+            for name, value in self._counts.items()
+        }
+
+    def __getitem__(self, name):
+        return self.get(name)
+
+    def __repr__(self):
+        return f"CounterSet({self._counts!r})"

@@ -1,0 +1,105 @@
+"""Latency histogram with log-spaced buckets and exact percentiles.
+
+Production telemetry uses log buckets (the Fig. 11 distribution); tests
+want exact percentiles.  This histogram does both: it keeps log-bucket
+counts always and raw samples up to a cap (reservoir-style thinning past
+the cap keeps percentiles approximately exact without unbounded memory).
+"""
+
+import math
+import random
+
+
+class LatencyHistogram:
+    """Records nanosecond latencies.
+
+    Parameters:
+        bucket_factor: ratio between adjacent log-bucket boundaries.
+        max_samples: cap on retained raw samples; beyond it, reservoir
+            sampling keeps a uniform subset.
+    """
+
+    def __init__(self, bucket_factor=2.0, max_samples=200_000, seed=1):
+        if bucket_factor <= 1.0:
+            raise ValueError("bucket_factor must exceed 1.0")
+        self.bucket_factor = bucket_factor
+        self.max_samples = max_samples
+        self._log_factor = math.log(bucket_factor)
+        self._buckets = {}
+        self._samples = []
+        self._count = 0
+        self._sum = 0
+        self._min = None
+        self._max = None
+        self._rng = random.Random(seed)
+
+    def record(self, latency_ns):
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._count += 1
+        self._sum += latency_ns
+        if self._min is None or latency_ns < self._min:
+            self._min = latency_ns
+        if self._max is None or latency_ns > self._max:
+            self._max = latency_ns
+        bucket = self._bucket_of(latency_ns)
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        if len(self._samples) < self.max_samples:
+            self._samples.append(latency_ns)
+        else:
+            # Vitter's algorithm R.
+            index = self._rng.randrange(self._count)
+            if index < self.max_samples:
+                self._samples[index] = latency_ns
+
+    def _bucket_of(self, latency_ns):
+        if latency_ns == 0:
+            return 0
+        return 1 + int(math.log(latency_ns) / self._log_factor)
+
+    @property
+    def count(self):
+        return self._count
+
+    @property
+    def mean_ns(self):
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min_ns(self):
+        return self._min
+
+    @property
+    def max_ns(self):
+        return self._max
+
+    def percentile(self, fraction):
+        """Latency at ``fraction`` (0..1], e.g. 0.99 for P99."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction out of range: {fraction}")
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def fraction_below(self, threshold_ns):
+        """Fraction of recorded latencies strictly below ``threshold_ns``."""
+        if not self._samples:
+            return 0.0
+        below = sum(1 for sample in self._samples if sample < threshold_ns)
+        return below / len(self._samples)
+
+    def bucket_counts(self):
+        """{bucket upper bound ns: count} sorted ascending (Fig. 11 data)."""
+        result = {}
+        for bucket, count in sorted(self._buckets.items()):
+            upper = 0 if bucket == 0 else self.bucket_factor**bucket
+            result[int(upper)] = count
+        return result
+
+    def merge(self, other):
+        """Fold another histogram's samples into this one."""
+        for sample in other._samples:
+            self.record(sample)
+        return self

@@ -1,0 +1,146 @@
+"""Per-packet timeline tracing.
+
+Operations tooling: attach a :class:`PacketTracer` to a pod and every
+traced packet records its stage timestamps (ingress, core enqueue, CPU
+start/finish, reorder writeback, wire).  Used by the latency-breakdown
+tests and handy when debugging HOL incidents -- the same telemetry the
+paper's team leaned on when chasing the millisecond code branches.
+"""
+
+
+class PacketTrace:
+    """One packet's recorded (stage, timestamp) pairs in order."""
+
+    __slots__ = ("uid", "events")
+
+    def __init__(self, uid):
+        self.uid = uid
+        self.events = []
+
+    def mark(self, stage, timestamp_ns):
+        self.events.append((stage, timestamp_ns))
+
+    def stage_time(self, stage):
+        """First timestamp recorded for ``stage``, or None."""
+        for name, timestamp in self.events:
+            if name == stage:
+                return timestamp
+        return None
+
+    def span_ns(self, first_stage, second_stage):
+        """Time between two stages, or None if either is missing."""
+        start = self.stage_time(first_stage)
+        end = self.stage_time(second_stage)
+        if start is None or end is None:
+            return None
+        return end - start
+
+    @property
+    def stages(self):
+        return [name for name, _ in self.events]
+
+    def __repr__(self):
+        return f"<PacketTrace uid={self.uid} {self.stages}>"
+
+
+class PacketTracer:
+    """Hooks a GW pod's pipeline and records packet timelines.
+
+    Parameters:
+        pod: a :class:`~repro.core.gateway.GwPodRuntime`.
+        sample_every: trace every Nth ingress packet (1 = all).
+        max_traces: stop collecting after this many packets.
+    """
+
+    STAGES = ("ingress", "cpu_start", "cpu_done", "egress")
+
+    def __init__(self, pod, sample_every=1, max_traces=10_000):
+        self.pod = pod
+        self.sample_every = sample_every
+        self.max_traces = max_traces
+        self.traces = {}
+        self._seen = 0
+        self._install()
+
+    def _install(self):
+        pod = self.pod
+        sim = pod.sim
+
+        original_ingress = pod.nic.ingress
+
+        def traced_ingress(packet):
+            self._seen += 1
+            if (
+                len(self.traces) < self.max_traces
+                and self._seen % self.sample_every == 0
+            ):
+                trace = PacketTrace(packet.uid)
+                trace.mark("ingress", sim.now)
+                self.traces[packet.uid] = trace
+            original_ingress(packet)
+
+        pod.nic.ingress = traced_ingress
+        # GwPodRuntime.ingress bound the original method; repoint it.
+        pod.ingress = traced_ingress
+
+        for core in pod.cores:
+            self._wrap_core(core, sim)
+
+        original_egress = pod.nic.egress_fn
+
+        def traced_egress(packet, outcome):
+            trace = self.traces.get(packet.uid)
+            if trace is not None:
+                trace.mark("egress", sim.now)
+            original_egress(packet, outcome)
+
+        pod.nic.egress_fn = traced_egress
+
+    def _wrap_core(self, core, sim):
+        original_start = core._start_next
+        tracer = self
+
+        def traced_start():
+            pending = core.rx_queue.peek()
+            if pending is not None:
+                trace = tracer.traces.get(pending.uid)
+                if trace is not None:
+                    trace.mark("cpu_start", sim.now)
+            original_start()
+
+        core._start_next = traced_start
+
+        original_finish = core._finish
+
+        def traced_finish(packet):
+            trace = tracer.traces.get(packet.uid)
+            if trace is not None:
+                trace.mark("cpu_done", sim.now)
+            original_finish(packet)
+
+        core._finish = traced_finish
+
+    # -- analysis -----------------------------------------------------------
+
+    def completed_traces(self):
+        """Traces that reached the wire."""
+        return [
+            trace for trace in self.traces.values() if trace.stage_time("egress")
+        ]
+
+    def mean_span_ns(self, first_stage, second_stage):
+        spans = [
+            trace.span_ns(first_stage, second_stage)
+            for trace in self.completed_traces()
+        ]
+        spans = [span for span in spans if span is not None]
+        return sum(spans) / len(spans) if spans else None
+
+    def breakdown(self):
+        """Mean ns per pipeline segment across completed traces."""
+        return {
+            "nic_rx_and_queue": self.mean_span_ns("ingress", "cpu_start"),
+            "cpu_service": self.mean_span_ns("cpu_start", "cpu_done"),
+            "nic_tx_and_reorder": self.mean_span_ns("cpu_done", "egress"),
+            "total": self.mean_span_ns("ingress", "egress"),
+        }

@@ -1,0 +1,262 @@
+"""Byte-accurate protocol header codecs.
+
+Each header class round-trips through real wire bytes (``pack`` /
+``unpack``).  The basic-pipeline parser uses these to exercise the same
+encap/decap work the FPGA performs: VLAN tagging between the uplink switch
+and the VFs, and VXLAN as the overlay carrying the tenant VNI.
+"""
+
+import struct
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+VXLAN_UDP_PORT = 4789
+
+ETHERNET_LEN = 14
+VLAN_TAG_LEN = 4
+IPV4_MIN_LEN = 20
+UDP_LEN = 8
+VXLAN_LEN = 8
+
+
+class EthernetHeader:
+    """Ethernet II header (no FCS)."""
+
+    __slots__ = ("dst_mac", "src_mac", "ethertype")
+
+    def __init__(self, dst_mac, src_mac, ethertype):
+        self.dst_mac = dst_mac  # 6 bytes
+        self.src_mac = src_mac  # 6 bytes
+        self.ethertype = ethertype
+
+    def pack(self):
+        return self.dst_mac + self.src_mac + struct.pack(">H", self.ethertype)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < ETHERNET_LEN:
+            raise ValueError(f"truncated Ethernet header ({len(data)} bytes)")
+        (ethertype,) = struct.unpack_from(">H", data, 12)
+        return cls(bytes(data[0:6]), bytes(data[6:12]), ethertype)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, EthernetHeader)
+            and self.dst_mac == other.dst_mac
+            and self.src_mac == other.src_mac
+            and self.ethertype == other.ethertype
+        )
+
+    def __repr__(self):
+        return (
+            f"EthernetHeader(dst={self.dst_mac.hex(':')}, "
+            f"src={self.src_mac.hex(':')}, type=0x{self.ethertype:04x})"
+        )
+
+
+class VlanTag:
+    """802.1Q tag: PCP (3b) | DEI (1b) | VLAN id (12b) | inner ethertype."""
+
+    __slots__ = ("pcp", "dei", "vlan_id", "ethertype")
+
+    def __init__(self, vlan_id, ethertype=ETHERTYPE_IPV4, pcp=0, dei=0):
+        if not 0 <= vlan_id < 4096:
+            raise ValueError(f"vlan_id out of range: {vlan_id}")
+        self.pcp = pcp
+        self.dei = dei
+        self.vlan_id = vlan_id
+        self.ethertype = ethertype
+
+    def pack(self):
+        tci = (self.pcp << 13) | (self.dei << 12) | self.vlan_id
+        return struct.pack(">HH", tci, self.ethertype)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < VLAN_TAG_LEN:
+            raise ValueError(f"truncated VLAN tag ({len(data)} bytes)")
+        tci, ethertype = struct.unpack_from(">HH", data, 0)
+        return cls(tci & 0x0FFF, ethertype, pcp=tci >> 13, dei=(tci >> 12) & 1)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, VlanTag)
+            and (self.pcp, self.dei, self.vlan_id, self.ethertype)
+            == (other.pcp, other.dei, other.vlan_id, other.ethertype)
+        )
+
+    def __repr__(self):
+        return f"VlanTag(id={self.vlan_id}, pcp={self.pcp})"
+
+
+def ipv4_checksum(header_bytes):
+    """RFC 1071 ones-complement checksum over the IPv4 header bytes."""
+    if len(header_bytes) % 2:
+        header_bytes = header_bytes + b"\x00"
+    total = sum(struct.unpack(f">{len(header_bytes) // 2}H", header_bytes))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+class Ipv4Header:
+    """IPv4 header without options (IHL = 5)."""
+
+    __slots__ = (
+        "src_ip",
+        "dst_ip",
+        "proto",
+        "total_length",
+        "ttl",
+        "dscp",
+        "identification",
+        "flags",
+    )
+
+    def __init__(
+        self,
+        src_ip,
+        dst_ip,
+        proto,
+        total_length,
+        ttl=64,
+        dscp=0,
+        identification=0,
+        flags=0b010,  # DF set, as cloud overlays typically do
+    ):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.proto = proto
+        self.total_length = total_length
+        self.ttl = ttl
+        self.dscp = dscp
+        self.identification = identification
+        self.flags = flags
+
+    def pack(self):
+        version_ihl = (4 << 4) | 5
+        flags_frag = (self.flags << 13) | 0
+        header = struct.pack(
+            ">BBHHHBBHII",
+            version_ihl,
+            self.dscp << 2,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src_ip,
+            self.dst_ip,
+        )
+        checksum = ipv4_checksum(header)
+        return header[:10] + struct.pack(">H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data, verify_checksum=True):
+        if len(data) < IPV4_MIN_LEN:
+            raise ValueError(f"truncated IPv4 header ({len(data)} bytes)")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            proto,
+            checksum,
+            src_ip,
+            dst_ip,
+        ) = struct.unpack_from(">BBHHHBBHII", data, 0)
+        version = version_ihl >> 4
+        ihl = version_ihl & 0x0F
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        if ihl != 5:
+            raise ValueError(f"IPv4 options unsupported (ihl={ihl})")
+        if verify_checksum and ipv4_checksum(bytes(data[:20])) != 0:
+            raise ValueError("IPv4 checksum mismatch")
+        return cls(
+            src_ip,
+            dst_ip,
+            proto,
+            total_length,
+            ttl=ttl,
+            dscp=tos >> 2,
+            identification=identification,
+            flags=flags_frag >> 13,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, Ipv4Header) and all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __repr__(self):
+        return (
+            f"Ipv4Header(src=0x{self.src_ip:08x}, dst=0x{self.dst_ip:08x}, "
+            f"proto={self.proto}, len={self.total_length}, ttl={self.ttl})"
+        )
+
+
+class UdpHeader:
+    """UDP header (checksum carried but not validated: overlay style)."""
+
+    __slots__ = ("src_port", "dst_port", "length", "checksum")
+
+    def __init__(self, src_port, dst_port, length, checksum=0):
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.length = length
+        self.checksum = checksum
+
+    def pack(self):
+        return struct.pack(
+            ">HHHH", self.src_port, self.dst_port, self.length, self.checksum
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < UDP_LEN:
+            raise ValueError(f"truncated UDP header ({len(data)} bytes)")
+        src, dst, length, checksum = struct.unpack_from(">HHHH", data, 0)
+        return cls(src, dst, length, checksum)
+
+    def __eq__(self, other):
+        return isinstance(other, UdpHeader) and all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+    def __repr__(self):
+        return f"UdpHeader({self.src_port}->{self.dst_port}, len={self.length})"
+
+
+class VxlanHeader:
+    """VXLAN header (RFC 7348): flags byte with I bit, 24-bit VNI."""
+
+    __slots__ = ("vni",)
+
+    def __init__(self, vni):
+        if not 0 <= vni < (1 << 24):
+            raise ValueError(f"VNI out of range: {vni}")
+        self.vni = vni
+
+    def pack(self):
+        return struct.pack(">BBHI", 0x08, 0, 0, self.vni << 8)
+
+    @classmethod
+    def unpack(cls, data):
+        if len(data) < VXLAN_LEN:
+            raise ValueError(f"truncated VXLAN header ({len(data)} bytes)")
+        flags, _, _, vni_reserved = struct.unpack_from(">BBHI", data, 0)
+        if not flags & 0x08:
+            raise ValueError("VXLAN I flag not set")
+        return cls(vni_reserved >> 8)
+
+    def __eq__(self, other):
+        return isinstance(other, VxlanHeader) and self.vni == other.vni
+
+    def __repr__(self):
+        return f"VxlanHeader(vni={self.vni})"

@@ -1,0 +1,186 @@
+"""Parser/deparser for the basic pipeline (appendix A of the paper).
+
+The FPGA basic pipeline parses the outer Ethernet/VLAN/IPv4/UDP/VXLAN stack,
+strips the VLAN tag the uplink switch applied (it only selects the VF), and
+optionally splits the packet into header and payload (header-payload-split
+mode saves PCIe bandwidth for large frames).  The deparser reverses all of
+this on egress.
+"""
+
+from repro.packet import headers as hdr
+from repro.packet.flows import FlowKey
+
+
+class HeaderParseError(Exception):
+    """Raised when a frame does not match the expected header stack."""
+
+
+class ParsedPacket:
+    """Result of parsing one frame: the header stack plus the payload split.
+
+    ``header_bytes`` covers everything the CPU needs for forwarding
+    decisions (outer stack + inner headers); ``payload_bytes`` is the rest,
+    retained in the NIC payload buffer in split mode.
+    """
+
+    __slots__ = (
+        "ethernet",
+        "vlan",
+        "ipv4",
+        "udp",
+        "vxlan",
+        "header_bytes",
+        "payload_bytes",
+    )
+
+    def __init__(self, ethernet, vlan, ipv4, udp, vxlan, header_bytes, payload_bytes):
+        self.ethernet = ethernet
+        self.vlan = vlan
+        self.ipv4 = ipv4
+        self.udp = udp
+        self.vxlan = vxlan
+        self.header_bytes = header_bytes
+        self.payload_bytes = payload_bytes
+
+    @property
+    def vni(self):
+        """Tenant identifier from the VXLAN header (None if not VXLAN)."""
+        return self.vxlan.vni if self.vxlan is not None else None
+
+    @property
+    def flow_key(self):
+        """Outer transport 5-tuple used by RSS and the order-queue hash."""
+        return FlowKey(
+            self.ipv4.src_ip,
+            self.ipv4.dst_ip,
+            self.udp.src_port,
+            self.udp.dst_port,
+            self.ipv4.proto,
+        )
+
+    @property
+    def wire_length(self):
+        return len(self.header_bytes) + len(self.payload_bytes)
+
+
+class PacketParser:
+    """Parses and rebuilds the outer header stack of gateway traffic.
+
+    Parameters:
+        split_headers: when True, operate in header-payload-split mode --
+            the payload (bytes after the VXLAN header, or after UDP for
+            non-VXLAN) is separated from the headers.
+    """
+
+    def __init__(self, split_headers=False):
+        self.split_headers = split_headers
+
+    def parse(self, frame):
+        """Parse ``frame`` (bytes) into a :class:`ParsedPacket`.
+
+        Expects Ethernet [VLAN] IPv4 UDP [VXLAN] payload.  Raises
+        :class:`HeaderParseError` on truncation or malformed headers.
+        """
+        try:
+            return self._parse(frame)
+        except ValueError as exc:
+            raise HeaderParseError(str(exc)) from exc
+
+    def _parse(self, frame):
+        offset = 0
+        ethernet = hdr.EthernetHeader.unpack(frame)
+        offset += hdr.ETHERNET_LEN
+
+        vlan = None
+        ethertype = ethernet.ethertype
+        if ethertype == hdr.ETHERTYPE_VLAN:
+            vlan = hdr.VlanTag.unpack(frame[offset:])
+            offset += hdr.VLAN_TAG_LEN
+            ethertype = vlan.ethertype
+
+        if ethertype != hdr.ETHERTYPE_IPV4:
+            raise HeaderParseError(f"unsupported ethertype 0x{ethertype:04x}")
+
+        ipv4 = hdr.Ipv4Header.unpack(frame[offset:])
+        ip_start = offset
+        offset += hdr.IPV4_MIN_LEN
+        if ipv4.proto != hdr.IPPROTO_UDP:
+            raise HeaderParseError(f"unsupported IP protocol {ipv4.proto}")
+        ip_end = ip_start + ipv4.total_length
+        if ip_end > len(frame):
+            raise HeaderParseError(
+                f"IPv4 total_length {ipv4.total_length} exceeds frame"
+            )
+
+        udp = hdr.UdpHeader.unpack(frame[offset:])
+        offset += hdr.UDP_LEN
+
+        vxlan = None
+        if udp.dst_port == hdr.VXLAN_UDP_PORT:
+            vxlan = hdr.VxlanHeader.unpack(frame[offset:])
+            offset += hdr.VXLAN_LEN
+
+        if self.split_headers:
+            header_bytes = bytes(frame[:offset])
+            payload_bytes = bytes(frame[offset:ip_end])
+        else:
+            header_bytes = bytes(frame[:ip_end])
+            payload_bytes = b""
+        return ParsedPacket(ethernet, vlan, ipv4, udp, vxlan, header_bytes, payload_bytes)
+
+    def deparse(self, parsed):
+        """Rebuild the full frame from a :class:`ParsedPacket`."""
+        return parsed.header_bytes + parsed.payload_bytes
+
+    @staticmethod
+    def strip_vlan(frame):
+        """Remove an 802.1Q tag, returning (vlan_id, untagged_frame).
+
+        This is the decap the basic pipeline performs at ingress: the tag
+        only encodes which VF the uplink switch selected.
+        """
+        ethernet = hdr.EthernetHeader.unpack(frame)
+        if ethernet.ethertype != hdr.ETHERTYPE_VLAN:
+            raise HeaderParseError("frame is not VLAN-tagged")
+        tag = hdr.VlanTag.unpack(frame[hdr.ETHERNET_LEN:])
+        untagged = hdr.EthernetHeader(
+            ethernet.dst_mac, ethernet.src_mac, tag.ethertype
+        )
+        rest = frame[hdr.ETHERNET_LEN + hdr.VLAN_TAG_LEN:]
+        return tag.vlan_id, untagged.pack() + rest
+
+    @staticmethod
+    def add_vlan(frame, vlan_id, pcp=0):
+        """Insert an 802.1Q tag (the egress encap towards the switch)."""
+        ethernet = hdr.EthernetHeader.unpack(frame)
+        tag = hdr.VlanTag(vlan_id, ethernet.ethertype, pcp=pcp)
+        tagged = hdr.EthernetHeader(
+            ethernet.dst_mac, ethernet.src_mac, hdr.ETHERTYPE_VLAN
+        )
+        rest = frame[hdr.ETHERNET_LEN:]
+        return tagged.pack() + tag.pack() + rest
+
+
+def build_vxlan_frame(
+    flow,
+    vni,
+    payload,
+    dst_mac=b"\x02\x00\x00\x00\x00\x02",
+    src_mac=b"\x02\x00\x00\x00\x00\x01",
+    vlan_id=None,
+):
+    """Construct a complete VXLAN-encapsulated frame for tests/examples.
+
+    ``flow`` provides the outer IPv4/UDP addressing; the UDP destination
+    port is forced to the VXLAN port.  Returns wire bytes.
+    """
+    vxlan = hdr.VxlanHeader(vni)
+    udp_len = hdr.UDP_LEN + hdr.VXLAN_LEN + len(payload)
+    udp = hdr.UdpHeader(flow.src_port, hdr.VXLAN_UDP_PORT, udp_len)
+    ip_len = hdr.IPV4_MIN_LEN + udp_len
+    ipv4 = hdr.Ipv4Header(flow.src_ip, flow.dst_ip, hdr.IPPROTO_UDP, ip_len)
+    ethernet = hdr.EthernetHeader(dst_mac, src_mac, hdr.ETHERTYPE_IPV4)
+    frame = ethernet.pack() + ipv4.pack() + udp.pack() + vxlan.pack() + payload
+    if vlan_id is not None:
+        frame = PacketParser.add_vlan(frame, vlan_id)
+    return frame

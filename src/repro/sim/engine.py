@@ -1,0 +1,210 @@
+"""Event loop for the discrete-event simulator.
+
+The design is intentionally small: a binary heap of ``(time, sequence,
+Event)`` triples and a handful of run/stop primitives.  Components interact
+by scheduling callbacks; there is no process/coroutine machinery to keep the
+hot path cheap (the reorder and dispatch models schedule millions of events
+per simulated second).
+
+Determinism guarantees:
+
+* time is integer nanoseconds, so there are no float-comparison surprises;
+* ties are broken by a monotonically increasing sequence number, so two
+  events scheduled for the same instant always fire in scheduling order.
+"""
+
+import heapq
+
+
+class SimulationError(Exception):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; the only supported operation is
+    :meth:`cancel`.  Cancelled events stay in the heap but are skipped when
+    popped (lazy deletion), which is O(1) instead of O(n).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time, fn, args):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time} fn={name} {state}>"
+
+
+class Simulator:
+    """Discrete-event loop with an integer-nanosecond clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10 * US, my_handler, arg1, arg2)
+        sim.run_until(1 * SECOND)
+
+    Handlers receive their ``args`` but not the simulator; components keep a
+    reference to the simulator they were constructed with.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._heap = []
+        self._sequence = 0
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    @property
+    def now(self):
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self):
+        """Total callbacks executed since construction."""
+        return self._events_processed
+
+    @property
+    def pending(self):
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
+
+        Returns an :class:`Event` that can be cancelled.  ``delay`` must be a
+        non-negative integer; a zero delay runs after the current handler
+        completes but at the same timestamp.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), fn, *args)
+
+    def schedule_at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at an absolute timestamp."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, fn, args)
+        heapq.heappush(self._heap, (time, self._sequence, event))
+        self._sequence += 1
+        return event
+
+    def stop(self):
+        """Stop the run loop after the current handler returns."""
+        self._stopped = True
+
+    def step(self):
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, max_events=None):
+        """Run until the event heap drains (or ``max_events`` is hit)."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            count = 0
+            while not self._stopped and self.step():
+                count += 1
+                if max_events is not None and count >= max_events:
+                    break
+        finally:
+            self._running = False
+
+    def run_until(self, end_time):
+        """Run events with timestamp <= ``end_time``, then set now to it.
+
+        Events scheduled beyond ``end_time`` remain queued; a later
+        ``run_until`` continues from where this one left off.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) is before now={self._now}"
+            )
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        try:
+            while not self._stopped and self._heap:
+                time, _, event = self._heap[0]
+                if time > end_time:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = time
+                self._events_processed += 1
+                event.fn(*event.args)
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, end_time)
+
+    def every(self, interval, fn, *args, start_delay=None, jitter_fn=None):
+        """Schedule ``fn(*args)`` periodically.
+
+        Returns a :class:`PeriodicTask` whose ``cancel()`` stops the cycle.
+        ``jitter_fn``, if given, is called per period and must return extra
+        nanoseconds (possibly negative, clamped at 0 total delay).
+        """
+        return PeriodicTask(self, interval, fn, args, start_delay, jitter_fn)
+
+
+class PeriodicTask:
+    """A repeating event created by :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "interval", "fn", "args", "_event", "_cancelled", "_jitter_fn")
+
+    def __init__(self, sim, interval, fn, args, start_delay, jitter_fn):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive (got {interval})")
+        self._sim = sim
+        self.interval = int(interval)
+        self.fn = fn
+        self.args = args
+        self._cancelled = False
+        self._jitter_fn = jitter_fn
+        first = self.interval if start_delay is None else int(start_delay)
+        self._event = sim.schedule(first, self._fire)
+
+    def _fire(self):
+        if self._cancelled:
+            return
+        self.fn(*self.args)
+        if self._cancelled:  # fn may have cancelled us
+            return
+        delay = self.interval
+        if self._jitter_fn is not None:
+            delay = max(0, delay + int(self._jitter_fn()))
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self):
+        """Stop the periodic task.  Idempotent."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()

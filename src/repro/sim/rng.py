@@ -1,0 +1,39 @@
+"""Named random-number streams for reproducible experiments.
+
+Every stochastic component draws from its own named stream so that adding a
+new component (or reordering calls inside one) does not perturb the random
+sequence seen by the others.  Streams are derived from a single experiment
+seed via ``random.Random`` seeded with ``hash-stable`` (seed, name) pairs.
+"""
+
+import random
+import zlib
+
+
+class RngRegistry:
+    """Factory for independent, deterministically seeded RNG streams.
+
+    >>> rngs = RngRegistry(seed=7)
+    >>> a = rngs.stream("traffic")
+    >>> b = rngs.stream("jitter")
+    >>> a is rngs.stream("traffic")
+    True
+    """
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self._streams = {}
+
+    def stream(self, name):
+        """Return the ``random.Random`` for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            # zlib.crc32 is stable across processes (unlike hash()).
+            derived = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+            rng = random.Random(derived)
+            self._streams[name] = rng
+        return rng
+
+    def reset(self):
+        """Drop all streams; subsequent calls re-derive from the seed."""
+        self._streams.clear()

@@ -1,0 +1,56 @@
+"""Memory-footprint accounting for gateway tables.
+
+Feeds two consumers:
+
+* the L3-cache model: the ratio of total table bytes to cache bytes is
+  what produces the paper's 30-45% hit rate (§4.2, Fig. 5);
+* the Tab. 6 comparison: DRAM capacity is why Albatross holds >10M LPM
+  rules where Tofino SRAM held 0.2M.
+"""
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+class TableFootprint:
+    """A named collection of (table name, entries, bytes/entry) rows."""
+
+    def __init__(self):
+        self._rows = []
+
+    def add(self, name, entries, entry_bytes):
+        if entries < 0 or entry_bytes <= 0:
+            raise ValueError("entries must be >= 0 and entry_bytes > 0")
+        self._rows.append((name, entries, entry_bytes))
+        return self
+
+    def total_bytes(self):
+        return sum(entries * entry_bytes for _, entries, entry_bytes in self._rows)
+
+    def rows(self):
+        return list(self._rows)
+
+    def __repr__(self):
+        total = self.total_bytes() / GiB
+        return f"<TableFootprint {len(self._rows)} tables, {total:.2f} GiB>"
+
+
+def gateway_table_footprint(
+    tenants=1_000_000,
+    flows_per_tenant=4,
+    vm_per_tenant=4,
+    lpm_routes=10_000_000,
+    entry_bytes=320,
+):
+    """Footprint of a representative cloud-gateway table set.
+
+    The paper: "table entries in a typical cloud gateway occupy several GB
+    of memory" with entries "often hundreds of bytes" -- the defaults land
+    in that regime (several GiB total).
+    """
+    footprint = TableFootprint()
+    footprint.add("vm_nc_mapping", tenants * vm_per_tenant, entry_bytes)
+    footprint.add("vxlan_routes_lpm", lpm_routes, 64)
+    footprint.add("tenant_config", tenants, 512)
+    footprint.add("flow_cache", tenants * flows_per_tenant, 128)
+    return footprint

@@ -1,0 +1,129 @@
+"""Session table for stateful network functions (§7, "Stateful NF support").
+
+Models the SNAT / L4-LB session state the paper discusses: sessions are
+created on first packet, optionally updated per packet (write-heavy NFs
+such as per-session counters) or only at establishment/termination
+(write-light NFs).  Insertion uses two-choice hashing with a short cuckoo
+relocation chain, which is what production session tables do to keep load
+factors high at bounded bucket depth.
+"""
+
+from repro.packet.hashing import crc32_flow_hash
+
+
+class SessionTableFull(Exception):
+    """Raised when a session cannot be placed even after cuckoo kicks."""
+
+
+class Session:
+    """Per-flow state: NAT translation plus counters."""
+
+    __slots__ = ("flow", "translated_port", "packets", "bytes", "created_ns", "last_seen_ns")
+
+    def __init__(self, flow, translated_port, created_ns=0):
+        self.flow = flow
+        self.translated_port = translated_port
+        self.packets = 0
+        self.bytes = 0
+        self.created_ns = created_ns
+        self.last_seen_ns = created_ns
+
+    def touch(self, size, now_ns):
+        """Per-packet update (the write-heavy path)."""
+        self.packets += 1
+        self.bytes += size
+        self.last_seen_ns = now_ns
+
+
+class SessionTable:
+    """Two-choice cuckoo session table.
+
+    Each flow hashes to two candidate buckets (independent CRC seeds); an
+    insert that finds both full evicts a resident entry and relocates it,
+    up to ``max_kicks`` times.
+    """
+
+    def __init__(self, buckets=4096, bucket_depth=4, max_kicks=32, entry_bytes=128):
+        import random
+
+        self.buckets = buckets
+        self.bucket_depth = bucket_depth
+        self.max_kicks = max_kicks
+        self.entry_bytes = entry_bytes
+        self._table = [[] for _ in range(buckets)]
+        self._size = 0
+        # Random-walk eviction needs a (deterministic) victim picker; a
+        # fixed victim choice ping-pongs between two full buckets.
+        self._kick_rng = random.Random(0xC0C0)
+
+    def __len__(self):
+        return self._size
+
+    @property
+    def capacity(self):
+        return self.buckets * self.bucket_depth
+
+    def _candidates(self, flow):
+        return (
+            crc32_flow_hash(flow, seed=0x5E551) % self.buckets,
+            crc32_flow_hash(flow, seed=0xC0C0A) % self.buckets,
+        )
+
+    def lookup(self, flow):
+        """Return the :class:`Session` for ``flow`` or None."""
+        for index in self._candidates(flow):
+            for session in self._table[index]:
+                if session.flow == flow:
+                    return session
+        return None
+
+    def insert(self, session):
+        """Place ``session``; raises :class:`SessionTableFull` on failure."""
+        if self.lookup(session.flow) is not None:
+            raise ValueError(f"duplicate session for {session.flow}")
+        candidate = session
+        for kick in range(self.max_kicks + 1):
+            first, second = self._candidates(candidate.flow)
+            for index in (first, second):
+                bucket = self._table[index]
+                if len(bucket) < self.bucket_depth:
+                    bucket.append(candidate)
+                    self._size += 1
+                    return
+            # Both full: random-walk cuckoo kick -- evict a random victim
+            # from one of the two buckets and retry placing the victim.
+            bucket = self._table[first if kick % 2 == 0 else second]
+            victim_index = self._kick_rng.randrange(len(bucket))
+            evicted = bucket.pop(victim_index)
+            bucket.append(candidate)
+            candidate = evicted
+        raise SessionTableFull(
+            f"no slot for {candidate.flow} after {self.max_kicks} kicks"
+        )
+
+    def remove(self, flow):
+        """Terminate the session for ``flow``; returns True if present."""
+        for index in self._candidates(flow):
+            bucket = self._table[index]
+            for position, session in enumerate(bucket):
+                if session.flow == flow:
+                    del bucket[position]
+                    self._size -= 1
+                    return True
+        return False
+
+    def expire_older_than(self, cutoff_ns):
+        """Age out sessions idle since before ``cutoff_ns``; returns count."""
+        expired = 0
+        for bucket in self._table:
+            keep = [s for s in bucket if s.last_seen_ns >= cutoff_ns]
+            expired += len(bucket) - len(keep)
+            bucket[:] = keep
+        self._size -= expired
+        return expired
+
+    def load_factor(self):
+        return self._size / self.capacity
+
+    def memory_bytes(self):
+        return self.capacity * self.entry_bytes

@@ -1,0 +1,202 @@
+"""Pipeline resource allocation: the "compiler" the paper fights with.
+
+Given a :class:`~repro.tofino.program.P4Program` and a
+:class:`~repro.tofino.resources.PipelineSpec`, the allocator:
+
+1. checks the PHV budget against the header stack;
+2. places tables into stages in dependency order (a table goes in a
+   stage strictly after all its dependencies);
+3. charges SRAM blocks (exact keys + action data, with a hash-way
+   replication overhead) and TCAM blocks (lpm/ternary keys) per stage,
+   spilling a table across consecutive stages when one stage's blocks
+   don't suffice.
+
+Any failure raises :class:`AllocationError` with the same three causes
+the paper reports: ``phv`` overflow, ``stage`` overflow (dependency
+chain longer than the pipeline), and ``memory`` exhaustion.
+"""
+
+import math
+
+from repro.tofino.program import MATCH_EXACT
+
+# Exact-match SRAM is organized in hash ways; provisioned bits exceed raw
+# entry bits by this factor (ways + pointer/valid overhead).
+EXACT_MATCH_OVERHEAD = 1.25
+
+
+class AllocationError(Exception):
+    """Compilation failure; ``cause`` in {"phv", "stage", "memory"}."""
+
+    def __init__(self, cause, message):
+        super().__init__(message)
+        self.cause = cause
+
+
+class _StageState:
+    __slots__ = ("sram_free", "tcam_free", "tables")
+
+    def __init__(self, spec):
+        self.sram_free = spec.sram_blocks_per_stage
+        self.tcam_free = spec.tcam_blocks_per_stage
+        self.tables = []
+
+
+class AllocationResult:
+    """Successful placement: per-stage assignment plus utilization."""
+
+    def __init__(self, program, spec, placement, sram_used, tcam_used):
+        self.program = program
+        self.spec = spec
+        self.placement = placement  # table name -> (first_stage, last_stage)
+        self.sram_blocks_used = sram_used
+        self.tcam_blocks_used = tcam_used
+
+    @property
+    def phv_utilization(self):
+        return self.program.phv_bits() / self.spec.phv_bits
+
+    @property
+    def sram_utilization(self):
+        return self.sram_blocks_used / self.spec.total_sram_blocks
+
+    @property
+    def tcam_utilization(self):
+        return self.tcam_blocks_used / self.spec.total_tcam_blocks
+
+    @property
+    def stages_used(self):
+        return 1 + max(last for _, last in self.placement.values())
+
+    def utilization_row(self):
+        """Tab. 1-style row: (SRAM %, TCAM %, PHV %)."""
+        return (
+            round(self.sram_utilization * 100, 1),
+            round(self.tcam_utilization * 100, 1),
+            round(self.phv_utilization * 100, 1),
+        )
+
+
+class PipelineAllocator:
+    """Places one program onto one pipeline."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    # -- per-table cost model --------------------------------------------
+
+    def sram_blocks_for(self, table):
+        """SRAM blocks for the table's entries (keys and/or action data)."""
+        block_bits = self.spec.sram_block_kib * 1024 * 8
+        if table.match_kind == MATCH_EXACT:
+            bits = table.entries * (table.key_bits + table.action_bits)
+            bits *= EXACT_MATCH_OVERHEAD
+        else:
+            # TCAM holds the key; SRAM holds the action data.
+            bits = table.entries * table.action_bits
+        return max(1, math.ceil(bits / block_bits))
+
+    def tcam_blocks_for(self, table):
+        if not table.uses_tcam:
+            return 0
+        slices = math.ceil(table.key_bits / self.spec.tcam_entry_bits)
+        rows = math.ceil(table.entries / self.spec.tcam_block_entries)
+        return max(1, slices * rows)
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, program):
+        """Place ``program``; returns an :class:`AllocationResult`.
+
+        Raises :class:`AllocationError` on PHV/stage/memory exhaustion.
+        """
+        phv_needed = program.phv_bits()
+        if phv_needed > self.spec.phv_bits:
+            raise AllocationError(
+                "phv",
+                f"{program.name}: header stack needs {phv_needed} PHV bits, "
+                f"pipeline has {self.spec.phv_bits}",
+            )
+        try:
+            depth = program.dependency_depth()
+        except ValueError as exc:
+            raise AllocationError("stage", str(exc)) from exc
+        if depth > self.spec.stages:
+            raise AllocationError(
+                "stage",
+                f"{program.name}: dependency chain needs {depth} stages, "
+                f"pipeline has {self.spec.stages}",
+            )
+
+        stages = [_StageState(self.spec) for _ in range(self.spec.stages)]
+        placement = {}
+        for table in self._dependency_order(program):
+            earliest = 0
+            for dep in table.depends_on:
+                earliest = max(earliest, placement[dep][1] + 1)
+            placement[table.name] = self._place_table(
+                program, stages, table, earliest
+            )
+
+        sram_used = sum(
+            self.spec.sram_blocks_per_stage - stage.sram_free for stage in stages
+        )
+        tcam_used = sum(
+            self.spec.tcam_blocks_per_stage - stage.tcam_free for stage in stages
+        )
+        return AllocationResult(program, self.spec, placement, sram_used, tcam_used)
+
+    def _dependency_order(self, program):
+        """Topological order, dependency-depth first (stable)."""
+        placed = set()
+        ordered = []
+        remaining = list(program.tables)
+        while remaining:
+            progressed = False
+            for table in list(remaining):
+                if all(dep in placed for dep in table.depends_on):
+                    ordered.append(table)
+                    placed.add(table.name)
+                    remaining.remove(table)
+                    progressed = True
+            if not progressed:
+                cycle = ", ".join(table.name for table in remaining)
+                raise AllocationError("stage", f"dependency cycle among: {cycle}")
+        return ordered
+
+    def _place_table(self, program, stages, table, earliest):
+        """Greedy spill placement from ``earliest``; returns (first, last)."""
+        sram_needed = self.sram_blocks_for(table)
+        tcam_needed = self.tcam_blocks_for(table)
+        first = None
+        stage_index = earliest
+        while stage_index < len(stages) and (sram_needed > 0 or tcam_needed > 0):
+            stage = stages[stage_index]
+            take_sram = min(sram_needed, stage.sram_free)
+            take_tcam = min(tcam_needed, stage.tcam_free)
+            if take_sram or take_tcam or (sram_needed == 0 and tcam_needed == 0):
+                if first is None and (take_sram or take_tcam):
+                    first = stage_index
+                stage.sram_free -= take_sram
+                stage.tcam_free -= take_tcam
+                sram_needed -= take_sram
+                tcam_needed -= take_tcam
+                if take_sram or take_tcam:
+                    stage.tables.append(table.name)
+            stage_index += 1
+        if sram_needed > 0 or tcam_needed > 0:
+            kind = "SRAM" if sram_needed > 0 else "TCAM"
+            raise AllocationError(
+                "memory",
+                f"{program.name}: table {table.name!r} needs "
+                f"{sram_needed or tcam_needed} more {kind} blocks than the "
+                f"pipeline has left",
+            )
+        return first, stage_index - 1
+
+    def try_allocate(self, program):
+        """(result, error) tuple instead of raising -- compiler-UX helper."""
+        try:
+            return self.allocate(program), None
+        except AllocationError as error:
+            return None, error

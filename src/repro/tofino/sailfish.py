@@ -1,0 +1,209 @@
+"""A representative Sailfish program pair (Tab. 1).
+
+Sailfish folds Tofino's four pipelines into two logical 24-stage
+pipelines: pipes 0,2 are the gateway entry (heavy protocol parsing ->
+PHV-bound at 97%), pipes 1,3 hold the VM-NC mapping for millions of
+tenants (SRAM-bound at 96.4%).  The table/header sets below are
+representative -- real Sailfish is proprietary -- but they are sized so
+the allocator lands on Tab. 1's utilization row, and they inherit the
+paper's consistency points (e.g. ~0.2M LPM routes on the egress pipes,
+matching Tab. 6's Sailfish LPM capacity).
+"""
+
+from repro.tofino.program import (
+    Header,
+    MATCH_EXACT,
+    MATCH_LPM,
+    MATCH_TERNARY,
+    P4Program,
+    Table,
+)
+
+# Tab. 1, for reference in tests and benches.
+TAB1_PIPE02 = {"sram": 69.2, "tcam": 40.3, "phv": 97.0}
+TAB1_PIPE13 = {"sram": 96.4, "tcam": 66.7, "phv": 82.3}
+
+
+def _overlay_header_stack():
+    """The outer+inner stack a multi-protocol cloud gateway parses."""
+    return [
+        Header("ethernet", 112),
+        Header("vlan_outer", 32),
+        Header("vlan_inner", 32),
+        Header("ipv4", 160),
+        Header("ipv6", 320),
+        Header("udp", 64),
+        Header("tcp", 160),
+        Header("vxlan", 64),
+        Header("gre", 128),
+        Header("icmp", 64),
+        Header("inner_ethernet", 112),
+        Header("inner_ipv4", 160),
+        Header("inner_ipv6", 320),
+        Header("inner_tcp", 160),
+        Header("inner_udp", 64),
+        Header("zoonet_probe", 96),
+    ]
+
+
+def sailfish_ingress_program():
+    """Pipes 0,2: gateway entry -- parsing-heavy, PHV at 97%."""
+    program = P4Program("sailfish-ingress", headers=_overlay_header_stack())
+    # Bridge/intrinsic metadata carried between stages also lives in PHV;
+    # this is what pushes the ingress pipes to the 97% wall.
+    program.add_header(Header("bridge_metadata", 1024))
+    program.add_header(Header("intrinsic_metadata", 901))
+
+    program.add_table(
+        Table("port_properties", MATCH_EXACT, 4096, key_bits=16, action_bits=64)
+    )
+    program.add_table(
+        Table(
+            "tunnel_terminate",
+            MATCH_EXACT,
+            524_288,
+            key_bits=56,
+            action_bits=48,
+            depends_on=("port_properties",),
+        )
+    )
+    program.add_table(
+        Table(
+            "tenant_lookup",
+            MATCH_EXACT,
+            950_000,
+            key_bits=24,
+            action_bits=64,
+            depends_on=("tunnel_terminate",),
+        )
+    )
+    program.add_table(
+        Table(
+            "ingress_acl",
+            MATCH_TERNARY,
+            36_500,
+            key_bits=104,
+            action_bits=32,
+            depends_on=("port_properties",),
+        )
+    )
+    program.add_table(
+        Table(
+            "qos_classifier",
+            MATCH_TERNARY,
+            4_096,
+            key_bits=64,
+            action_bits=16,
+            depends_on=("port_properties",),
+        )
+    )
+    return program
+
+
+def sailfish_egress_program():
+    """Pipes 1,3: forwarding tables -- SRAM at 96.4%, ~0.2M LPM routes."""
+    program = P4Program(
+        "sailfish-egress",
+        headers=[
+            Header("ethernet", 112),
+            Header("ipv4", 160),
+            Header("ipv6", 320),
+            Header("udp", 64),
+            Header("vxlan", 64),
+            Header("inner_ethernet", 112),
+            Header("inner_ipv4", 160),
+            Header("inner_tcp", 160),
+            Header("bridge_metadata", 1024),
+            Header("intrinsic_metadata", 1195),
+        ],
+    )
+    # The VM-NC mapping for millions of tenants: the table that eats the
+    # egress pipes' SRAM (Tab. 1's 96.4%).
+    program.add_table(
+        Table("vm_nc_mapping", MATCH_EXACT, 940_000, key_bits=56, action_bits=96)
+    )
+    program.add_table(
+        Table(
+            "vxlan_route_lpm",
+            MATCH_LPM,
+            190_000,  # ~0.2M: Tab. 6's Sailfish LPM capacity
+            key_bits=32,
+            action_bits=48,
+        )
+    )
+    program.add_table(
+        Table(
+            "nexthop",
+            MATCH_EXACT,
+            131_072,
+            key_bits=32,
+            action_bits=160,
+            depends_on=("vxlan_route_lpm",),
+        )
+    )
+    program.add_table(
+        Table(
+            "egress_acl",
+            MATCH_TERNARY,
+            2_048,
+            key_bits=104,
+            action_bits=16,
+            depends_on=("nexthop",),
+        )
+    )
+    program.add_table(
+        Table(
+            "encap_rewrite",
+            MATCH_EXACT,
+            65_536,
+            key_bits=24,
+            action_bits=256,
+            depends_on=("nexthop",),
+        )
+    )
+    return program
+
+
+def new_feature_attempts():
+    """The §2.1 failure catalogue: changes that no longer compile.
+
+    Returns {name: mutate(program) -> program} builders applied to the
+    appropriate Sailfish program by the Tab. 1 experiment.
+    """
+
+    def add_geneve(program):
+        mutated = program.copy("sailfish-ingress+geneve")
+        # Geneve with a realistic option budget.
+        mutated.add_header(Header("geneve", 64 + 128))
+        return mutated
+
+    def add_nsh(program):
+        mutated = program.copy("sailfish-ingress+nsh")
+        mutated.add_header(Header("nsh", 64 + 128))
+        return mutated
+
+    def add_large_table(program):
+        mutated = program.copy("sailfish-egress+big-table")
+        mutated.add_table(
+            Table("new_service_table", MATCH_EXACT, 524_288, key_bits=64, action_bits=128)
+        )
+        return mutated
+
+    def add_long_chain(program):
+        mutated = program.copy("sailfish-egress+long-chain")
+        previous = "egress_acl"
+        for index in range(24):
+            name = f"chained_fn_{index}"
+            mutated.add_table(
+                Table(name, MATCH_EXACT, 1024, key_bits=32, action_bits=32,
+                      depends_on=(previous,))
+            )
+            previous = name
+        return mutated
+
+    return {
+        "new header (Geneve)": ("ingress", add_geneve),
+        "new header (NSH)": ("ingress", add_nsh),
+        "large table": ("egress", add_large_table),
+        "long-chained function": ("egress", add_long_chain),
+    }

@@ -1,0 +1,35 @@
+"""Traffic generation: flow populations, sources, tenants, microbursts.
+
+Everything the paper's evaluation throws at the gateway, as synthetic
+generators: 500K-flow service workloads (Tab. 3), heavy hitters on
+background traffic (Fig. 8), microbursts (Fig. 9/10), multi-tenant
+overload scenarios (Fig. 13/14), and week-long production-style load
+traces (Fig. 10/11).
+"""
+
+from repro.workloads.generators import (
+    CbrSource,
+    FlowPopulation,
+    PoissonSource,
+    uniform_population,
+    zipf_population,
+)
+from repro.workloads.incast import IncastEvent, periodic_incast
+from repro.workloads.microburst import MicroburstSource
+from repro.workloads.tenants import TenantProfile, TenantSet
+from repro.workloads.traces import diurnal_rate_fn, weekly_load_profile
+
+__all__ = [
+    "CbrSource",
+    "FlowPopulation",
+    "PoissonSource",
+    "uniform_population",
+    "zipf_population",
+    "IncastEvent",
+    "periodic_incast",
+    "MicroburstSource",
+    "TenantProfile",
+    "TenantSet",
+    "diurnal_rate_fn",
+    "weekly_load_profile",
+]

@@ -1,0 +1,84 @@
+"""Incast traffic (§3.1): many senders converging on one destination.
+
+PLB's other headline case besides heavy hitters: N flows that are
+individually small but synchronized -- under RSS they can still pile
+onto few cores for the burst's duration; PLB spreads each burst packet-
+by-packet.
+"""
+
+from repro.packet.flows import FlowKey, flow_for_tenant
+from repro.workloads.generators import CbrSource, FlowPopulation
+
+
+class IncastEvent:
+    """One synchronized burst: ``senders`` flows to a single destination."""
+
+    def __init__(
+        self,
+        sim,
+        rng,
+        sink,
+        senders=32,
+        per_sender_pps=5_000,
+        start_ns=0,
+        duration_ns=5_000_000,
+        dst_ip=0x0A0000FF,
+        dst_port=443,
+        vni=4242,
+        size=256,
+    ):
+        self.senders = senders
+        flows = [
+            FlowKey(
+                flow_for_tenant(vni, index).src_ip,
+                dst_ip,
+                flow_for_tenant(vni, index).src_port,
+                dst_port,
+                6,
+            )
+            for index in range(senders)
+        ]
+        population = FlowPopulation(flows, vnis=[vni] * senders)
+        self.source = CbrSource(
+            sim, rng, sink, population, rate_pps=0, size=size
+        )
+        sim.schedule_at(start_ns, self.source.set_rate, senders * per_sender_pps)
+        sim.schedule_at(start_ns + duration_ns, self.source.set_rate, 0)
+
+    @property
+    def emitted(self):
+        return self.source.emitted
+
+
+def periodic_incast(
+    sim,
+    rng,
+    sink,
+    period_ns,
+    horizon_ns,
+    senders=32,
+    per_sender_pps=5_000,
+    duration_ns=5_000_000,
+    **kwargs,
+):
+    """Schedule an incast event every ``period_ns`` until ``horizon_ns``."""
+    events = []
+    start = period_ns
+    index = 0
+    while start < horizon_ns:
+        events.append(
+            IncastEvent(
+                sim,
+                rng,
+                sink,
+                senders=senders,
+                per_sender_pps=per_sender_pps,
+                start_ns=start,
+                duration_ns=duration_ns,
+                vni=4242 + index,
+                **kwargs,
+            )
+        )
+        start += period_ns
+        index += 1
+    return events

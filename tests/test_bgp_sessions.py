@@ -1,0 +1,283 @@
+"""BGP FSM, speaker, BFD, switch and proxy tests."""
+
+import pytest
+
+from repro.bgp.bfd import BfdPacket, BfdSession, BfdState, bfd_pair
+from repro.bgp.fsm import BgpState, establish_pair
+from repro.bgp.proxy import BgpProxy
+from repro.bgp.speaker import BgpSpeaker
+from repro.bgp.switch import (
+    SAFE_PEER_THRESHOLD,
+    UplinkSwitch,
+    direct_peering_count,
+    max_pods_per_server_direct,
+    proxied_peering_count,
+)
+from repro.sim import MS, SECOND, Simulator
+
+
+def speakers(sim, count=2, asn=65001):
+    return [
+        BgpSpeaker(sim, f"s{index}", asn + index, 0x0A000000 + index)
+        for index in range(count)
+    ]
+
+
+class TestFsm:
+    def test_session_establishes(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a, session_b, _ = establish_pair(sim, a, b)
+        sim.run_until(1 * SECOND)
+        assert session_a.state is BgpState.ESTABLISHED
+        assert session_b.state is BgpState.ESTABLISHED
+        assert a.session_up_count == 1
+
+    def test_hold_time_negotiated_down(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a = establish_pair(sim, a, b, hold_time_s=90)[0]
+        session_a.hold_time_s = 30
+        sim.run_until(1 * SECOND)
+        assert session_a.hold_time_s == 30
+
+    def test_keepalives_maintain_session(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a, session_b, _ = establish_pair(sim, a, b, hold_time_s=9)
+        sim.run_until(60 * SECOND)
+        assert session_a.state is BgpState.ESTABLISHED
+        assert session_a.messages_received > 10
+
+    def test_link_failure_expires_hold_timer(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a, _, link = establish_pair(sim, a, b, hold_time_s=9)
+        sim.run_until(1 * SECOND)
+        link.fail()
+        sim.run_until(15 * SECOND)
+        assert session_a.state is BgpState.IDLE
+        assert a.session_down_count == 1
+
+    def test_stop_sends_notification(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a, session_b, _ = establish_pair(sim, a, b)
+        sim.run_until(1 * SECOND)
+        session_a.stop("admin")
+        sim.run_until(2 * SECOND)
+        assert session_b.state is BgpState.IDLE
+
+    def test_decode_error_tears_down(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        session_a, session_b, _ = establish_pair(sim, a, b)
+        sim.run_until(1 * SECOND)
+        session_b.receive(b"garbage-not-bgp-at-all")
+        assert session_b.state is BgpState.IDLE
+
+
+class TestSpeakerRoutes:
+    def _established(self):
+        sim = Simulator()
+        a, b = speakers(sim)
+        establish_pair(sim, a, b)
+        sim.run_until(1 * SECOND)
+        return sim, a, b
+
+    def test_advertise_reaches_peer(self):
+        sim, a, b = self._established()
+        a.advertise(0x0A640000, 24)
+        sim.run_until(2 * SECOND)
+        assert b.knows_route(0x0A640000, 24)
+        assert b.best_route(0x0A640000, 24).as_path == [a.asn]
+
+    def test_withdraw_removes_route(self):
+        sim, a, b = self._established()
+        a.advertise(0x0A640000, 24)
+        sim.run_until(2 * SECOND)
+        a.withdraw(0x0A640000, 24)
+        sim.run_until(3 * SECOND)
+        assert not b.knows_route(0x0A640000, 24)
+
+    def test_routes_advertised_on_session_up(self):
+        """Pre-existing local routes flood when a peer comes up."""
+        sim = Simulator()
+        a, b = speakers(sim)
+        a.advertise(0x0A640000, 24)  # no peers yet
+        establish_pair(sim, a, b)
+        sim.run_until(1 * SECOND)
+        assert b.knows_route(0x0A640000, 24)
+
+    def test_session_death_flushes_learned_routes(self):
+        sim, a, b = self._established()
+        a.advertise(0x0A640000, 24)
+        sim.run_until(2 * SECOND)
+        a.sessions["s1"].stop("test")
+        sim.run_until(3 * SECOND)
+        assert not b.knows_route(0x0A640000, 24)
+
+    def test_best_route_prefers_local_pref(self):
+        sim = Simulator()
+        hub, left, right = speakers(sim, count=3)
+        establish_pair(sim, left, hub)
+        establish_pair(sim, right, hub)
+        sim.run_until(1 * SECOND)
+        left.advertise(0x0A640000, 24)
+        right.advertise(0x0A640000, 24)
+        sim.run_until(2 * SECOND)
+        best = hub.best_route(0x0A640000, 24)
+        assert best is not None
+        assert len(hub.rib[(0x0A640000, 24)]) == 2
+
+
+class TestBfd:
+    def test_pair_comes_up(self):
+        sim = Simulator()
+        a, b = bfd_pair(sim)
+        sim.run_until(1 * SECOND)
+        assert a.state is BfdState.UP
+        assert b.state is BfdState.UP
+
+    def test_packet_round_trip(self):
+        packet = BfdPacket(BfdState.UP, 3, 7, 9)
+        decoded = BfdPacket.unpack(packet.pack())
+        assert decoded.state is BfdState.UP
+        assert (decoded.my_discriminator, decoded.your_discriminator) == (7, 9)
+
+    def test_three_missed_probes_detects_failure(self):
+        """RFC 5880 / §4.3: 3 lost probes tear the link down."""
+        sim = Simulator()
+        downs = []
+        lossy = {"drop": False}
+        a, b = bfd_pair(
+            sim,
+            interval_ns=50 * MS,
+            loss_fn_ab=lambda: lossy["drop"],
+            loss_fn_ba=lambda: lossy["drop"],
+            on_down=lambda session: downs.append((session.name, sim.now)),
+        )
+        sim.run_until(1 * SECOND)
+        assert a.state is BfdState.UP
+        blackout_start = sim.now
+        lossy["drop"] = True
+        sim.run_until(blackout_start + 200 * MS)
+        assert a.state is BfdState.DOWN
+        assert downs
+        # Detection within ~3 intervals + latency.
+        detect_delay = downs[0][1] - blackout_start
+        assert detect_delay <= 3 * 50 * MS + 10 * MS
+
+    def test_single_lost_probe_tolerated(self):
+        sim = Simulator()
+        drops = {"count": 0}
+
+        def drop_one():
+            if drops["count"] == 0 and sim.now > 500 * MS:
+                drops["count"] += 1
+                return True
+            return False
+
+        a, b = bfd_pair(sim, interval_ns=50 * MS, loss_fn_ab=drop_one)
+        sim.run_until(2 * SECOND)
+        assert b.state is BfdState.UP
+        assert b.down_events == 0
+
+    def test_detect_time(self):
+        sim = Simulator()
+        session = BfdSession(sim, "x", lambda data: None, interval_ns=50 * MS)
+        assert session.detect_time_ns == 150 * MS
+        session.stop()
+
+
+class TestSwitchModel:
+    def test_convergence_fast_within_threshold(self):
+        fast = UplinkSwitch.convergence_time_ns(32)
+        assert fast < 10 * SECOND
+
+    def test_convergence_degrades_past_threshold(self):
+        """§5: beyond 64 peers, convergence can reach tens of minutes."""
+        slow = UplinkSwitch.convergence_time_ns(128)
+        assert slow > 10 * 60 * SECOND
+        assert UplinkSwitch.convergence_time_ns(256) > slow
+
+    def test_peer_count_arithmetic(self):
+        assert direct_peering_count(32, 4) == 128
+        assert proxied_peering_count(32) == 32
+        assert max_pods_per_server_direct() == 2
+
+    def test_restart_flushes_and_reports_convergence(self):
+        sim = Simulator()
+        switch = UplinkSwitch(sim, "sw")
+        pod = BgpSpeaker(sim, "pod", 65001, 0x0A000001)
+        establish_pair(sim, pod, switch)
+        sim.run_until(1 * SECOND)
+        pod.advertise(0x0A640000, 32)
+        sim.run_until(2 * SECOND)
+        assert switch.route_count() == 1
+        convergence = switch.restart()
+        assert convergence > 0
+        assert switch.route_count() == 0
+        assert switch.restarts == 1
+
+    def test_overload_predicate(self):
+        sim = Simulator()
+        switch = UplinkSwitch(sim, "sw")
+        assert not switch.is_overloaded()
+
+
+class TestProxy:
+    def _setup(self, pods=3):
+        sim = Simulator()
+        switch = UplinkSwitch(sim, "switch")
+        proxy = BgpProxy(
+            sim, "proxy", 65100, 0x0A000100, switch_peer_name="switch",
+            router_ip=0x0A000100,
+        )
+        establish_pair(sim, proxy, switch, hold_time_s=9)
+        pod_speakers = []
+        for index in range(pods):
+            pod = BgpSpeaker(sim, f"pod{index}", 65100, 0x0A000200 + index)
+            establish_pair(sim, pod, proxy, hold_time_s=9)
+            pod_speakers.append(pod)
+        sim.run_until(1 * SECOND)
+        return sim, switch, proxy, pod_speakers
+
+    def test_pod_routes_reexported_to_switch(self):
+        sim, switch, proxy, pods = self._setup()
+        for index, pod in enumerate(pods):
+            pod.advertise(0x0A640000 + index, 32)
+        sim.run_until(2 * SECOND)
+        assert switch.route_count() == len(pods)
+        # Next hop rewritten to the proxy.
+        best = switch.best_route(0x0A640000, 32)
+        assert best.next_hop == proxy.router_ip
+        assert best.as_path[0] == proxy.asn
+
+    def test_switch_sees_one_peer(self):
+        _, switch, _, pods = self._setup(pods=4)
+        assert switch.peer_count == 1
+
+    def test_withdrawal_propagates(self):
+        sim, switch, _, pods = self._setup()
+        pods[0].advertise(0x0A640000, 32)
+        sim.run_until(2 * SECOND)
+        pods[0].withdraw(0x0A640000, 32)
+        sim.run_until(3 * SECOND)
+        assert not switch.knows_route(0x0A640000, 32)
+
+    def test_pod_death_withdraws_its_routes(self):
+        sim, switch, _, pods = self._setup()
+        for index, pod in enumerate(pods):
+            pod.advertise(0x0A640000 + index, 32)
+        sim.run_until(2 * SECOND)
+        pods[0].sessions["proxy"].stop("died")
+        sim.run_until(3 * SECOND)
+        assert not switch.knows_route(0x0A640000, 32)
+        assert switch.knows_route(0x0A640001, 32)
+
+    def test_switch_routes_not_reflected_to_pods(self):
+        sim, switch, proxy, pods = self._setup()
+        switch.advertise(0, 0)  # default route from the fabric
+        sim.run_until(2 * SECOND)
+        assert proxy.reexported == 0

@@ -1,0 +1,57 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.cores == 8
+        assert args.mode == "plb"
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--cores", "4", "--mode", "rss", "--load", "0.9"]
+        )
+        assert (args.cores, args.mode, args.load) == (4, "rss", 0.9)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--mode", "bogus"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        code = main(["simulate", "--cores", "2", "--duration-ms", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivered:" in out
+        assert "reorder:" in out
+
+    def test_simulate_rss_mode(self, capsys):
+        code = main(["simulate", "--cores", "2", "--mode", "rss", "--duration-ms", "5"])
+        assert code == 0
+        assert "reorder:" not in capsys.readouterr().out
+
+    def test_experiment_by_name(self, capsys):
+        code = main(["experiment", "fig15"])
+        assert code == 0
+        assert "AZ construction" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["experiment", "nope"])
+        assert code == 1
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_inventory(self, capsys):
+        code = main(["inventory"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "VPC-Internet" in out

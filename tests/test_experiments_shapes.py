@@ -1,0 +1,264 @@
+"""Shape tests for every experiment: the paper's qualitative claims.
+
+Absolute numbers are model outputs; what must hold are the *shapes* --
+who wins, by roughly what factor, where crossovers fall.  Runs use
+shortened durations; the benchmarks run the full versions.
+"""
+
+import pytest
+
+from repro.sim.units import MS, SECOND
+
+
+class TestTab3:
+    def test_matches_paper_at_35pct_hit_rate(self):
+        from repro.experiments import tab3_throughput
+
+        rows = {row["service"]: row for row in tab3_throughput.run().rows()}
+        for service, row in rows.items():
+            assert row["albatross_mpps"] == pytest.approx(
+                row["paper_mpps"], rel=0.02
+            ), service
+
+    def test_vpc_internet_is_slowest(self):
+        from repro.experiments import tab3_throughput
+
+        rows = tab3_throughput.run().rows()
+        slowest = min(rows, key=lambda row: row["albatross_mpps"])
+        assert slowest["service"] == "VPC-Internet"
+
+    def test_simulated_mode_close_to_analytic(self):
+        from repro.experiments import tab3_throughput
+
+        rows = tab3_throughput.run(simulate=True, sim_duration_ns=15 * MS).rows()
+        for row in rows:
+            assert row["sim_mpps"] == pytest.approx(row["albatross_mpps"], rel=0.1)
+
+
+class TestTab4Tab5:
+    def test_latency_sums(self):
+        from repro.experiments import tab4_tab5_nic
+
+        result = tab4_tab5_nic.run_latency(measure=True)
+        total = [row for row in result.rows() if row["module"] == "Sum"][0]
+        assert total["rx_us"] == pytest.approx(3.90, abs=0.01)
+        assert total["tx_us"] == pytest.approx(4.17, abs=0.01)
+        assert result.meta["measured_unloaded_us"] == pytest.approx(8.07, abs=0.3)
+
+    def test_resources_sum(self):
+        from repro.experiments import tab4_tab5_nic
+
+        result = tab4_tab5_nic.run_resources()
+        total = [row for row in result.rows() if row["module"] == "Sum"][0]
+        assert total["lut_pct"] == pytest.approx(60.0, abs=0.1)
+        assert total["bram_pct"] == pytest.approx(44.5, abs=0.1)
+        assert 3.0 < result.meta["plb_bram_estimate_pct"] < 7.0
+
+
+class TestTab6:
+    def test_comparison_shape(self):
+        from repro.experiments import tab6_comparison
+
+        rows = {row["gateway"]: row for row in tab6_comparison.run().rows()}
+        assert rows["Albatross"]["lpm_rules_m"] > 10
+        assert rows["Sailfish"]["lpm_rules_m"] == 0.2
+        assert rows["Albatross"]["price_az"] == rows["Sailfish"]["price_az"] / 2
+        assert rows["Sailfish"]["packet_rate_mpps"] == 1800
+        assert rows["Albatross"]["latency_us"] == 10 * rows["Sailfish"]["latency_us"]
+
+
+class TestFig8:
+    def test_rss_overloads_plb_spreads(self):
+        from repro.experiments import fig8_load_balancing
+
+        result = fig8_load_balancing.run(
+            hitter_fractions=(0.0, 1.3), duration_ns=80 * MS
+        )
+        rows = {(row["mode"], row["hitter_pct_of_core"]): row for row in result.rows()}
+        rss_hot = rows[("rss", 130)]
+        plb_hot = rows[("plb", 130)]
+        # RSS: one core pinned at 100%, big loss.  PLB: even, no loss.
+        assert rss_hot["core_util_max"] > 0.98
+        assert rss_hot["loss_rate"] > 0.15
+        assert plb_hot["core_util_max"] < 0.7
+        assert plb_hot["loss_rate"] < 0.01
+        # PLB's spread is near-perfectly even.
+        assert plb_hot["core_util_max"] - plb_hot["core_util_min"] < 0.05
+
+    def test_no_hitter_modes_equal(self):
+        from repro.experiments import fig8_load_balancing
+
+        result = fig8_load_balancing.run(hitter_fractions=(0.0,), duration_ns=80 * MS)
+        rows = {row["mode"]: row for row in result.rows()}
+        assert rows["rss"]["loss_rate"] < 0.01
+        assert rows["plb"]["loss_rate"] < 0.01
+
+
+class TestFig9:
+    def test_plb_wins_beyond_75pct(self):
+        from repro.experiments import fig9_p99_latency
+
+        result = fig9_p99_latency.run(loads=(0.5, 0.9), duration_ns=150 * MS)
+        rows = {(row["mode"], row["load_pct"]): row for row in result.rows()}
+        # At 50%: comparable (within a small factor).
+        assert rows[("rss", 50)]["p99_us"] < 5 * rows[("plb", 50)]["p99_us"]
+        # At 90%: RSS collapses, PLB holds.
+        assert rows[("rss", 90)]["p99_us"] > 10 * rows[("plb", 90)]["p99_us"]
+
+
+class TestFig10:
+    def test_rss_stddev_far_above_plb(self):
+        from repro.experiments import fig10_multicore_util
+
+        result = fig10_multicore_util.run(duration_ns=200 * MS)
+        rows = {row["mode"]: row for row in result.rows()}
+        assert rows["rss"]["mean_stddev"] > 10 * rows["plb"]["mean_stddev"]
+
+
+class TestFig11:
+    def test_distribution_shape(self):
+        from repro.experiments import fig11_latency_distribution
+
+        result = fig11_latency_distribution.run(duration_ns=150 * MS)
+        for row in result.rows():
+            assert row["below_30us"] > 0.99
+            assert row["disorder_rate"] < 1e-3
+
+    def test_tail_grows_with_load(self):
+        from repro.experiments import fig11_latency_distribution
+
+        rows = fig11_latency_distribution.run(duration_ns=300 * MS).rows()
+        by_pod = {row["pod"]: row for row in rows}
+        heavy = by_pod["A"]["in_30_100us"] + by_pod["B"]["in_30_100us"]
+        light = by_pod["C"]["in_30_100us"] + by_pod["D"]["in_30_100us"]
+        assert heavy > light
+
+
+class TestFig12:
+    def test_drop_flag_eliminates_hol(self):
+        from repro.experiments import fig12_hol_drop_flag
+
+        result = fig12_hol_drop_flag.run(duration_ns=200 * MS)
+        rows = {row["drop_flag"]: row for row in result.rows()}
+        # Without the flag: dozens-hundreds of HOL events per second.
+        assert 20 < rows["off"]["hol_events_per_s"] < 2000
+        assert rows["on"]["hol_events_per_s"] == 0
+        assert rows["on"]["p99_us"] < rows["off"]["p99_us"]
+
+
+class TestFig13Fig14:
+    def test_without_limiter_all_tenants_hurt(self):
+        from repro.experiments import fig13_14_ratelimit
+
+        result = fig13_14_ratelimit.run(with_limiter=False, duration_ns=2 * SECOND)
+        rates = fig13_14_ratelimit.loss_per_tenant(result, after_ms=1250)
+        # Every tenant is degraded; total capped at capacity.
+        assert rates["tenant2_kpps"] < 15 * 0.8
+        assert rates["tenant3_kpps"] < 10 * 0.8
+        assert rates["tenant4_kpps"] < 5 * 0.9
+        total = sum(rates.values())
+        assert total == pytest.approx(100, rel=0.1)
+
+    def test_with_limiter_innocents_unharmed(self):
+        from repro.experiments import fig13_14_ratelimit
+
+        result = fig13_14_ratelimit.run(with_limiter=True, duration_ns=2 * SECOND)
+        rates = fig13_14_ratelimit.loss_per_tenant(result, after_ms=1250)
+        # Tenant 1 clipped to ~50 Kpps (10 Mpps scaled); others intact.
+        assert rates["tenant1_kpps"] == pytest.approx(50, rel=0.1)
+        assert rates["tenant2_kpps"] == pytest.approx(15, rel=0.05)
+        assert rates["tenant3_kpps"] == pytest.approx(10, rel=0.05)
+        assert rates["tenant4_kpps"] == pytest.approx(5, rel=0.05)
+
+
+class TestFig15:
+    def test_cost_arithmetic(self):
+        from repro.experiments import fig15_cost
+
+        result = fig15_cost.run()
+        assert result.meta["server_reduction_pct"] == 75
+        assert result.meta["cost_reduction_pct"] == 50
+        assert result.meta["power_reduction_pct"] == 40
+
+
+class TestFig16Fig17:
+    def test_cross_numa_penalty(self):
+        from repro.experiments import fig16_17_numa
+
+        result = fig16_17_numa.run_fig16(duration_ns=60 * MS)
+        rows = {row["placement"]: row for row in result.rows()}
+        assert rows["cross"]["relative"] == pytest.approx(0.86, abs=0.02)
+
+    def test_numa_balancing_bursts(self):
+        from repro.experiments import fig16_17_numa
+
+        result = fig16_17_numa.run_fig17(duration_ns=200 * MS)
+        rows = {row["numa_balancing"]: row for row in result.rows()}
+        assert rows["on"]["max_us"] > 3 * rows["off"]["max_us"]
+        assert rows["off"]["p99_us"] < 30
+
+
+class TestFig7:
+    def test_peer_scaling(self):
+        from repro.experiments import fig7_bgp
+
+        result = fig7_bgp.run_peer_scaling()
+        rows = {row["pods_per_server"]: row for row in result.rows()}
+        assert not rows[2]["direct_over_threshold"]
+        assert rows[4]["direct_over_threshold"]
+        assert rows[4]["direct_convergence_s"] > 600
+        assert rows[8]["proxy_convergence_s"] < 10
+
+    def test_protocol_run(self):
+        from repro.experiments import fig7_bgp
+
+        result = fig7_bgp.run_protocol(pods=4)
+        rows = {row["stage"]: row for row in result.rows()}
+        assert rows["after advertisement"]["switch_routes"] == 4
+        assert rows["after advertisement"]["switch_peers"] == 1
+        assert rows["after pod0 death"]["switch_routes"] == 3
+
+
+class TestAblations:
+    def test_meta_placement(self):
+        from repro.experiments import ablations
+
+        result = ablations.run_meta_placement(duration_ns=60 * MS)
+        rows = {row["placement"]: row for row in result.rows()}
+        assert rows["head"]["relative"] == pytest.approx(0.664, abs=0.02)
+
+    def test_memory_frequency(self):
+        from repro.experiments import ablations
+
+        rows = ablations.run_memory_frequency().rows()
+        assert rows[-1]["speedup_pct"] == pytest.approx(8, abs=1.5)
+
+    def test_stateful_shapes(self):
+        from repro.experiments import ablations
+
+        rows = ablations.run_stateful_nf(core_counts=(1, 4, 32)).rows()
+        by_cores = {row["cores"]: row for row in rows}
+        assert (
+            by_cores[32]["write_light_plb_mpps"]
+            > 6 * by_cores[4]["write_light_plb_mpps"]
+        )
+        assert (
+            by_cores[32]["write_heavy_plb_mpps"] < by_cores[4]["write_heavy_plb_mpps"]
+        )
+
+    def test_reorder_tradeoff(self):
+        from repro.experiments import ablations
+
+        rows = ablations.run_reorder_queue_tradeoff(duration_ns=80 * MS).rows()
+        # C1: tolerance shrinks as queues grow (fixed total buffer).
+        tolerances = [row["hitter_tolerance_mpps"] for row in rows]
+        assert tolerances[0] >= tolerances[-1] * 2
+
+    def test_ratelimit_collisions(self):
+        from repro.experiments import ablations
+
+        rows = ablations.run_ratelimit_collisions(duration_ns=1 * SECOND).rows()
+        by_mode = {row["pre_check"]: row for row in rows}
+        assert by_mode["off"]["victim_drop_rate"] > 0.5
+        assert by_mode["on"]["victim_drop_rate"] < 0.1
+        assert by_mode["on"]["promotions"] >= 1

@@ -1,0 +1,169 @@
+"""Byte-level codec tests: Ethernet/VLAN/IPv4/UDP/VXLAN round trips."""
+
+import struct
+
+import pytest
+
+from repro.packet import headers as hdr
+from repro.packet.flows import FlowKey, ip_from_str
+from repro.packet.parser import HeaderParseError, PacketParser, build_vxlan_frame
+
+DST = b"\x02\x00\x00\x00\x00\x02"
+SRC = b"\x02\x00\x00\x00\x00\x01"
+
+
+class TestEthernet:
+    def test_round_trip(self):
+        header = hdr.EthernetHeader(DST, SRC, hdr.ETHERTYPE_IPV4)
+        assert hdr.EthernetHeader.unpack(header.pack()) == header
+
+    def test_wire_length(self):
+        assert len(hdr.EthernetHeader(DST, SRC, 0x0800).pack()) == 14
+
+    def test_ethertype_position(self):
+        packed = hdr.EthernetHeader(DST, SRC, 0x86DD).pack()
+        assert packed[12:14] == b"\x86\xdd"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            hdr.EthernetHeader.unpack(b"\x00" * 10)
+
+
+class TestVlan:
+    def test_round_trip(self):
+        tag = hdr.VlanTag(vlan_id=301, pcp=5)
+        assert hdr.VlanTag.unpack(tag.pack()) == tag
+
+    def test_tci_layout(self):
+        packed = hdr.VlanTag(vlan_id=0x123, pcp=0b101, dei=1).pack()
+        (tci,) = struct.unpack_from(">H", packed, 0)
+        assert tci == (0b101 << 13) | (1 << 12) | 0x123
+
+    def test_vlan_id_range(self):
+        with pytest.raises(ValueError):
+            hdr.VlanTag(vlan_id=4096)
+
+    def test_strip_and_add_vlan_inverse(self):
+        flow = FlowKey(ip_from_str("10.0.0.1"), ip_from_str("10.0.0.2"), 4000, 4789, 17)
+        frame = build_vxlan_frame(flow, vni=7, payload=b"hello")
+        tagged = PacketParser.add_vlan(frame, 250)
+        vlan_id, untagged = PacketParser.strip_vlan(tagged)
+        assert vlan_id == 250
+        assert untagged == frame
+
+    def test_strip_untagged_rejected(self):
+        flow = FlowKey(1, 2, 3, 4789, 17)
+        frame = build_vxlan_frame(flow, vni=7, payload=b"")
+        with pytest.raises(HeaderParseError):
+            PacketParser.strip_vlan(frame)
+
+
+class TestIpv4:
+    def test_round_trip(self):
+        header = hdr.Ipv4Header(0x0A000001, 0x0A000002, 17, 120, ttl=61, dscp=10)
+        assert hdr.Ipv4Header.unpack(header.pack()) == header
+
+    def test_checksum_valid(self):
+        packed = hdr.Ipv4Header(1, 2, 6, 40).pack()
+        assert hdr.ipv4_checksum(packed) == 0
+
+    def test_corrupted_checksum_rejected(self):
+        packed = bytearray(hdr.Ipv4Header(1, 2, 6, 40).pack())
+        packed[8] ^= 0xFF  # flip TTL
+        with pytest.raises(ValueError, match="checksum"):
+            hdr.Ipv4Header.unpack(bytes(packed))
+
+    def test_checksum_not_verified_when_disabled(self):
+        packed = bytearray(hdr.Ipv4Header(1, 2, 6, 40).pack())
+        packed[8] ^= 0xFF
+        header = hdr.Ipv4Header.unpack(bytes(packed), verify_checksum=False)
+        assert header.ttl == 64 ^ 0xFF
+
+    def test_version_checked(self):
+        packed = bytearray(hdr.Ipv4Header(1, 2, 6, 40).pack())
+        packed[0] = (6 << 4) | 5
+        with pytest.raises(ValueError, match="version"):
+            hdr.Ipv4Header.unpack(bytes(packed), verify_checksum=False)
+
+    def test_known_checksum_vector(self):
+        # Classic example from RFC 1071 discussions.
+        data = bytes.fromhex("45000073000040004011b861c0a80001c0a800c7")
+        assert hdr.ipv4_checksum(data) == 0
+
+
+class TestUdpVxlan:
+    def test_udp_round_trip(self):
+        header = hdr.UdpHeader(4000, 4789, 100, 0xBEEF)
+        assert hdr.UdpHeader.unpack(header.pack()) == header
+
+    def test_vxlan_round_trip(self):
+        assert hdr.VxlanHeader.unpack(hdr.VxlanHeader(0xABCDEF).pack()).vni == 0xABCDEF
+
+    def test_vxlan_flag_bit(self):
+        assert hdr.VxlanHeader(5).pack()[0] == 0x08
+
+    def test_vxlan_vni_range(self):
+        with pytest.raises(ValueError):
+            hdr.VxlanHeader(1 << 24)
+
+    def test_vxlan_missing_flag_rejected(self):
+        raw = bytearray(hdr.VxlanHeader(5).pack())
+        raw[0] = 0
+        with pytest.raises(ValueError):
+            hdr.VxlanHeader.unpack(bytes(raw))
+
+
+class TestParser:
+    def _flow(self):
+        return FlowKey(
+            ip_from_str("192.168.1.10"), ip_from_str("10.20.30.40"), 40000, 4789, 17
+        )
+
+    def test_parse_full_stack(self):
+        frame = build_vxlan_frame(self._flow(), vni=12345, payload=b"x" * 64)
+        parsed = PacketParser().parse(frame)
+        assert parsed.vni == 12345
+        assert parsed.flow_key == self._flow()
+        assert parsed.vlan is None
+
+    def test_parse_vlan_tagged(self):
+        frame = build_vxlan_frame(self._flow(), vni=9, payload=b"y", vlan_id=77)
+        parsed = PacketParser().parse(frame)
+        assert parsed.vlan.vlan_id == 77
+        assert parsed.vni == 9
+
+    def test_header_payload_split(self):
+        payload = b"z" * 200
+        frame = build_vxlan_frame(self._flow(), vni=3, payload=payload)
+        parsed = PacketParser(split_headers=True).parse(frame)
+        assert parsed.payload_bytes == payload
+        assert len(parsed.header_bytes) == 14 + 20 + 8 + 8
+
+    def test_deparse_reassembles(self):
+        frame = build_vxlan_frame(self._flow(), vni=3, payload=b"q" * 50)
+        parser = PacketParser(split_headers=True)
+        assert parser.deparse(parser.parse(frame)) == frame
+
+    def test_non_ip_rejected(self):
+        frame = hdr.EthernetHeader(DST, SRC, 0x86DD).pack() + b"\x00" * 40
+        with pytest.raises(HeaderParseError):
+            PacketParser().parse(frame)
+
+    def test_truncated_rejected(self):
+        frame = build_vxlan_frame(self._flow(), vni=3, payload=b"q" * 50)
+        with pytest.raises(HeaderParseError):
+            PacketParser().parse(frame[:20])
+
+    def test_non_vxlan_udp_has_no_vni(self):
+        flow = FlowKey(1, 2, 53, 53, 17)
+        udp_len = hdr.UDP_LEN + 10
+        ip = hdr.Ipv4Header(flow.src_ip, flow.dst_ip, 17, 20 + udp_len)
+        frame = (
+            hdr.EthernetHeader(DST, SRC, hdr.ETHERTYPE_IPV4).pack()
+            + ip.pack()
+            + hdr.UdpHeader(53, 53, udp_len).pack()
+            + b"d" * 10
+        )
+        parsed = PacketParser().parse(frame)
+        assert parsed.vxlan is None
+        assert parsed.vni is None

@@ -1,0 +1,110 @@
+"""Property-based tests on the rate limiter's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ratelimit import TokenBucket, TwoStageRateLimiter
+from repro.sim.units import MS, SECOND
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rate=st.integers(100, 1_000_000),
+        burst=st.integers(1, 1000),
+        gaps_us=st.lists(st.integers(0, 100_000), min_size=1, max_size=300),
+    )
+    def test_admissions_never_exceed_rate_plus_burst(self, rate, burst, gaps_us):
+        """Hard bound: admitted <= burst + rate * elapsed, at any prefix."""
+        bucket = TokenBucket(rate, burst=burst)
+        now = 0
+        admitted = 0
+        for gap in gaps_us:
+            now += gap * 1000
+            if bucket.allow(now):
+                admitted += 1
+            bound = burst + rate * now / SECOND
+            assert admitted <= bound + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(rate=st.integers(1000, 100_000))
+    def test_full_utilization_achievable(self, rate):
+        """Offering exactly the rate, nothing is dropped (work conserving)."""
+        bucket = TokenBucket(rate, burst=2)
+        interval = SECOND // rate
+        admitted = sum(
+            1 for index in range(500) if bucket.allow(index * interval)
+        )
+        assert admitted == 500
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rate=st.integers(100, 10_000),
+        offered_factor=st.floats(1.5, 20.0),
+    )
+    def test_sustained_overload_clips_to_rate(self, rate, offered_factor):
+        bucket = TokenBucket(rate, burst=1)
+        offered = int(rate * offered_factor)
+        interval = max(1, SECOND // offered)
+        horizon = 2 * SECOND
+        admitted = 0
+        now = 0
+        while now < horizon:
+            if bucket.allow(now):
+                admitted += 1
+            now += interval
+        achieved = admitted / (horizon / SECOND)
+        assert achieved <= rate * 1.1 + 2
+
+
+class TestTwoStageProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        vnis=st.lists(st.integers(0, 100_000), min_size=1, max_size=6, unique=True),
+        pps=st.integers(100, 5_000),
+    )
+    def test_under_limit_tenants_never_dropped(self, vnis, pps):
+        """Any set of tenants each below the stage-1 rate, with distinct
+        color entries, is never dropped."""
+        limiter = TwoStageRateLimiter(
+            random.Random(0),
+            stage1_rate_pps=10_000,
+            stage2_rate_pps=1_000,
+            color_entries=4096,
+        )
+        distinct = {vni % 4096 for vni in vnis}
+        if len(distinct) != len(vnis):
+            return  # color collisions are a different property
+        interval = SECOND // pps
+        for step in range(200):
+            now = step * interval
+            for vni in vnis:
+                assert limiter.admit(vni, now).allowed
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_flood_clipped_regardless_of_vni(self, seed):
+        rng = random.Random(seed)
+        vni = rng.randrange(1 << 24)
+        limiter = TwoStageRateLimiter(
+            rng, stage1_rate_pps=1000, stage2_rate_pps=200, auto_promote=False
+        )
+        admitted = 0
+        interval = SECOND // 50_000
+        now = 0
+        while now < SECOND:
+            if limiter.admit(vni, now).allowed:
+                admitted += 1
+            now += interval
+        # Ceiling = stage1 + stage2 (+ bucket bursts).
+        assert admitted <= 1200 * 1.1
+
+    @settings(max_examples=25, deadline=None)
+    @given(tenants=st.integers(1, 2_000_000))
+    def test_sram_budget_is_tenant_independent(self, tenants):
+        """The whole point of the design: SRAM does not grow with tenants."""
+        limiter = TwoStageRateLimiter(random.Random(0))
+        assert limiter.sram_bytes() < 2.2 * (1 << 20)
+        assert TwoStageRateLimiter.naive_sram_bytes(tenants) == tenants * 208

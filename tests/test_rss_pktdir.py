@@ -1,0 +1,108 @@
+"""RSS dispatcher and pkt_dir classifier tests."""
+
+import pytest
+
+from repro.core.pktdir import DeliveryPath, PktDir, PktDirRule
+from repro.core.rss import INDIRECTION_ENTRIES, RssDispatcher
+from repro.packet.flows import FlowKey, flow_for_tenant
+from repro.packet.packet import Packet, PacketKind
+
+
+class FakeCore:
+    def __init__(self, core_id):
+        self.core_id = core_id
+
+
+class TestRss:
+    def test_flow_pinning(self):
+        """Every packet of a flow lands on the same core."""
+        rss = RssDispatcher([FakeCore(index) for index in range(8)])
+        flow = FlowKey(1, 2, 3, 4, 6)
+        cores = {rss.dispatch(Packet(flow)).core_id for _ in range(50)}
+        assert len(cores) == 1
+
+    def test_flows_spread_across_cores(self):
+        rss = RssDispatcher([FakeCore(index) for index in range(8)])
+        cores = {
+            rss.core_for_flow(flow_for_tenant(tenant, index)).core_id
+            for tenant in range(30)
+            for index in range(10)
+        }
+        assert cores == set(range(8))
+
+    def test_indirection_reprogramming(self):
+        cores = [FakeCore(index) for index in range(4)]
+        rss = RssDispatcher(cores)
+        rss.set_indirection([2] * INDIRECTION_ENTRIES)
+        assert rss.core_for_flow(FlowKey(1, 2, 3, 4, 6)).core_id == 2
+
+    def test_indirection_validation(self):
+        rss = RssDispatcher([FakeCore(0)])
+        with pytest.raises(ValueError):
+            rss.set_indirection([0] * 10)
+        with pytest.raises(ValueError):
+            rss.set_indirection([5] * INDIRECTION_ENTRIES)
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            RssDispatcher([])
+
+
+def packet(kind=PacketKind.DATA, vni=1, dst_port=4789):
+    return Packet(FlowKey(1, 2, 3, dst_port, 17), vni=vni, kind=kind)
+
+
+class TestPktDir:
+    def test_defaults(self):
+        pkt_dir = PktDir()
+        assert pkt_dir.classify(packet(PacketKind.DATA))[0] is DeliveryPath.PLB
+        assert pkt_dir.classify(packet(PacketKind.PROTOCOL))[0] is DeliveryPath.PRIORITY
+        assert pkt_dir.classify(packet(PacketKind.STATEFUL))[0] is DeliveryPath.RSS
+
+    def test_rss_default_mode(self):
+        pkt_dir = PktDir(default_data_path=DeliveryPath.RSS)
+        assert pkt_dir.classify(packet())[0] is DeliveryPath.RSS
+
+    def test_rule_match_by_vni(self):
+        pkt_dir = PktDir()
+        pkt_dir.add_rule(PktDirRule(DeliveryPath.RSS, vni=7))
+        assert pkt_dir.classify(packet(vni=7))[0] is DeliveryPath.RSS
+        assert pkt_dir.classify(packet(vni=8))[0] is DeliveryPath.PLB
+
+    def test_rule_match_by_port(self):
+        pkt_dir = PktDir()
+        pkt_dir.add_rule(PktDirRule(DeliveryPath.PRIORITY, dst_port=179))
+        assert pkt_dir.classify(packet(dst_port=179))[0] is DeliveryPath.PRIORITY
+
+    def test_rule_priority_order(self):
+        pkt_dir = PktDir()
+        pkt_dir.add_rule(PktDirRule(DeliveryPath.RSS, vni=7, priority=50))
+        pkt_dir.add_rule(PktDirRule(DeliveryPath.PRIORITY, vni=7, priority=10))
+        assert pkt_dir.classify(packet(vni=7))[0] is DeliveryPath.PRIORITY
+
+    def test_header_only_from_rule(self):
+        pkt_dir = PktDir()
+        pkt_dir.add_rule(PktDirRule(DeliveryPath.PLB, vni=7, header_only=True))
+        path, header_only = pkt_dir.classify(packet(vni=7))
+        assert header_only
+
+    def test_remove_rule(self):
+        pkt_dir = PktDir()
+        rule = pkt_dir.add_rule(PktDirRule(DeliveryPath.RSS, vni=7))
+        pkt_dir.remove_rule(rule)
+        assert pkt_dir.classify(packet(vni=7))[0] is DeliveryPath.PLB
+
+    def test_fallback_switch(self):
+        """§4.1 remediation 5: PLB -> RSS at runtime."""
+        pkt_dir = PktDir()
+        pkt_dir.set_default_data_path(DeliveryPath.RSS)
+        assert pkt_dir.classify(packet())[0] is DeliveryPath.RSS
+        with pytest.raises(ValueError):
+            pkt_dir.set_default_data_path(DeliveryPath.PRIORITY)
+
+    def test_classified_counters(self):
+        pkt_dir = PktDir()
+        pkt_dir.classify(packet())
+        pkt_dir.classify(packet(PacketKind.PROTOCOL))
+        assert pkt_dir.classified[DeliveryPath.PLB] == 1
+        assert pkt_dir.classified[DeliveryPath.PRIORITY] == 1

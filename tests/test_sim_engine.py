@@ -1,0 +1,243 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import MS, SECOND, US, Simulator, SimulationError, from_seconds, to_seconds
+from repro.sim.rng import RngRegistry
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, fired.append, "c")
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(10):
+            sim.schedule(5, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_zero_delay_runs_at_same_timestamp(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.schedule(0, lambda: seen.append(sim.now))
+
+        sim.schedule(7, first)
+        sim.run()
+        assert seen == [7]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(50, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10, lambda: None)
+
+    def test_events_scheduled_from_handlers(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(10, chain, 1)
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert sim.now == 50
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.cancelled is False
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "early")
+        sim.schedule(100, fired.append, "late")
+        sim.run_until(50)
+        assert fired == ["early"]
+        assert sim.now == 50
+
+    def test_run_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(100, fired.append, "b")
+        sim.run_until(50)
+        sim.run_until(200)
+        assert fired == ["a", "b"]
+        assert sim.now == 200
+
+    def test_run_until_includes_boundary_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, fired.append, "edge")
+        sim.run_until(50)
+        assert fired == ["edge"]
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.run_until(50)
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, sim.stop)
+        sim.schedule(30, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.pending == 1
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for index in range(10):
+            sim.schedule(index + 1, lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(10, lambda: times.append(sim.now))
+        sim.run_until(35)
+        assert times == [10, 20, 30]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        times = []
+        sim.every(10, lambda: times.append(sim.now), start_delay=3)
+        sim.run_until(25)
+        assert times == [3, 13, 23]
+
+    def test_cancel_stops_cycle(self):
+        sim = Simulator()
+        times = []
+        task = sim.every(10, lambda: times.append(sim.now))
+        sim.schedule(25, task.cancel)
+        sim.run_until(100)
+        assert times == [10, 20]
+
+    def test_self_cancel_inside_callback(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            if len(count) == 2:
+                task.cancel()
+
+        task = sim.every(5, tick)
+        sim.run_until(100)
+        assert len(count) == 2
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0, lambda: None)
+
+    def test_jitter_fn_applied(self):
+        sim = Simulator()
+        times = []
+        sim.every(10, lambda: times.append(sim.now), jitter_fn=lambda: 2)
+        sim.run_until(40)
+        assert times == [10, 22, 34]
+
+
+class TestUnits:
+    def test_constants(self):
+        assert US == 1_000
+        assert MS == 1_000_000
+        assert SECOND == 1_000_000_000
+
+    def test_round_trip(self):
+        assert to_seconds(from_seconds(1.5)) == pytest.approx(1.5)
+        assert from_seconds(0.000001) == 1000
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic(self):
+        first = RngRegistry(seed=5).stream("x").random()
+        second = RngRegistry(seed=5).stream("x").random()
+        assert first == second
+
+    def test_streams_are_independent(self):
+        rngs = RngRegistry(seed=5)
+        a = rngs.stream("a")
+        b = rngs.stream("b")
+        assert a is not b
+        assert a.random() != b.random()
+
+    def test_same_name_same_stream(self):
+        rngs = RngRegistry(seed=5)
+        assert rngs.stream("x") is rngs.stream("x")
+
+    def test_seed_changes_streams(self):
+        assert (
+            RngRegistry(seed=1).stream("x").random()
+            != RngRegistry(seed=2).stream("x").random()
+        )
+
+    def test_reset_rederives(self):
+        rngs = RngRegistry(seed=9)
+        first = rngs.stream("x").random()
+        rngs.reset()
+        assert rngs.stream("x").random() == first

@@ -1,0 +1,146 @@
+"""Exact-match and session-table tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packet.flows import FlowKey
+from repro.tables.exact import ExactMatchTable, VmNcMappingTable
+from repro.tables.footprint import TableFootprint, gateway_table_footprint
+from repro.tables.session import Session, SessionTable, SessionTableFull
+
+
+class TestExactMatch:
+    def test_insert_lookup(self):
+        table = ExactMatchTable(buckets=16, bucket_depth=4)
+        assert table.insert("k", "v")
+        value, entry_id = table.lookup("k")
+        assert value == "v"
+        assert isinstance(entry_id, int)
+
+    def test_update_keeps_entry_id(self):
+        table = ExactMatchTable(buckets=16, bucket_depth=4)
+        table.insert("k", "v1")
+        _, first_id = table.lookup("k")
+        table.insert("k", "v2")
+        value, second_id = table.lookup("k")
+        assert value == "v2"
+        assert first_id == second_id
+        assert len(table) == 1
+
+    def test_missing_returns_none(self):
+        assert ExactMatchTable().lookup("nope") is None
+
+    def test_remove(self):
+        table = ExactMatchTable()
+        table.insert("k", "v")
+        assert table.remove("k")
+        assert table.lookup("k") is None
+        assert not table.remove("k")
+
+    def test_bucket_overflow_rejected(self):
+        table = ExactMatchTable(buckets=1, bucket_depth=2)
+        assert table.insert("a", 1)
+        assert table.insert("b", 2)
+        assert not table.insert("c", 3)
+        assert table.overflow_rejections == 1
+
+    def test_memory_is_provisioned_capacity(self):
+        table = ExactMatchTable(buckets=8, bucket_depth=4, entry_bytes=100)
+        assert table.memory_bytes() == 8 * 4 * 100
+
+    def test_vm_nc_mapping(self):
+        table = VmNcMappingTable(buckets=64)
+        table.map_vm(vni=9, vm_ip=0x0A000001, nc_ip=0xC0A80001)
+        value, _ = table.lookup_vm(9, 0x0A000001)
+        assert value == 0xC0A80001
+        assert table.lookup_vm(8, 0x0A000001) is None
+
+
+def flow(index):
+    return FlowKey(index, index + 1, (index % 60000) + 1, 80, 17)
+
+
+class TestSessionTable:
+    def test_insert_lookup_remove(self):
+        table = SessionTable(buckets=64)
+        session = Session(flow(1), translated_port=5001)
+        table.insert(session)
+        assert table.lookup(flow(1)) is session
+        assert table.remove(flow(1))
+        assert table.lookup(flow(1)) is None
+
+    def test_duplicate_rejected(self):
+        table = SessionTable(buckets=64)
+        table.insert(Session(flow(1), 5001))
+        with pytest.raises(ValueError):
+            table.insert(Session(flow(1), 5002))
+
+    def test_touch_updates_counters(self):
+        session = Session(flow(1), 5001, created_ns=100)
+        session.touch(256, now_ns=200)
+        session.touch(128, now_ns=300)
+        assert session.packets == 2
+        assert session.bytes == 384
+        assert session.last_seen_ns == 300
+
+    def test_cuckoo_relocation_achieves_high_load(self):
+        table = SessionTable(buckets=64, bucket_depth=4, max_kicks=64)
+        inserted = 0
+        try:
+            for index in range(int(table.capacity * 0.9)):
+                table.insert(Session(flow(index), index))
+                inserted += 1
+        except SessionTableFull:
+            pass
+        # Two-choice + kicks should comfortably exceed 80% load factor.
+        assert inserted / table.capacity > 0.8
+        # Everything inserted must still be findable.
+        for index in range(inserted):
+            assert table.lookup(flow(index)) is not None
+
+    def test_expiry(self):
+        table = SessionTable(buckets=64)
+        old = Session(flow(1), 1, created_ns=0)
+        new = Session(flow(2), 2, created_ns=1000)
+        table.insert(old)
+        table.insert(new)
+        expired = table.expire_older_than(cutoff_ns=500)
+        assert expired == 1
+        assert table.lookup(flow(1)) is None
+        assert table.lookup(flow(2)) is new
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.sets(st.integers(0, 5000), min_size=1, max_size=120))
+    def test_property_all_inserted_found(self, indices):
+        table = SessionTable(buckets=128, bucket_depth=4, max_kicks=64)
+        placed = []
+        for index in indices:
+            try:
+                table.insert(Session(flow(index), index))
+                placed.append(index)
+            except SessionTableFull:
+                break
+        for index in placed:
+            found = table.lookup(flow(index))
+            assert found is not None
+            assert found.translated_port == index
+        assert len(table) == len(placed)
+
+
+class TestFootprint:
+    def test_totals(self):
+        footprint = TableFootprint().add("a", 10, 100).add("b", 5, 64)
+        assert footprint.total_bytes() == 1000 + 320
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TableFootprint().add("bad", -1, 8)
+        with pytest.raises(ValueError):
+            TableFootprint().add("bad", 1, 0)
+
+    def test_gateway_footprint_is_multi_gb(self):
+        """§4.2: tables occupy several GB, far beyond ~200 MB of L3."""
+        total = gateway_table_footprint().total_bytes()
+        assert total > 2 * (1 << 30)
+        assert total > 10 * 200 * (1 << 20)

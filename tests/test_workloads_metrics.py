@@ -1,0 +1,318 @@
+"""Workload generator and metrics tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.counters import CounterSet
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.summary import UtilizationSampler, mean, stddev
+from repro.sim import MS, SECOND, Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.generators import (
+    CbrSource,
+    FlowPopulation,
+    PoissonSource,
+    uniform_population,
+    zipf_population,
+)
+from repro.workloads.microburst import MicroburstSource
+from repro.workloads.tenants import TenantProfile, TenantSet, overload_scenario_profiles
+from repro.workloads.traces import diurnal_rate_fn, schedule_profile, weekly_load_profile
+
+
+class TestPopulations:
+    def test_uniform_population_spreads_tenants(self):
+        population = uniform_population(100, tenants=10)
+        assert len(population) == 100
+        assert set(population.vnis) == set(range(10))
+
+    def test_zipf_head_dominates(self):
+        rngs = RngRegistry(seed=1)
+        population = zipf_population(1000, exponent=1.2)
+        rng = rngs.stream("draw")
+        counts = {}
+        for _ in range(20_000):
+            flow, _ = population.choose(rng)
+            counts[flow] = counts.get(flow, 0) + 1
+        top = max(counts.values())
+        assert top > 20_000 * 0.05  # the hottest flow gets >5%
+
+    def test_choose_respects_weights(self):
+        flows = uniform_population(2).flows
+        population = FlowPopulation(flows, weights=[9.0, 1.0], vnis=[1, 2])
+        rng = RngRegistry(seed=2).stream("draw")
+        heavy = sum(
+            1 for _ in range(5000) if population.choose(rng)[0] == flows[0]
+        )
+        assert heavy / 5000 == pytest.approx(0.9, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowPopulation([])
+        flows = uniform_population(2).flows
+        with pytest.raises(ValueError):
+            FlowPopulation(flows, weights=[1.0])
+        with pytest.raises(ValueError):
+            FlowPopulation(flows, vnis=[1])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 20))
+    def test_property_choose_always_valid(self, flow_count, tenants):
+        population = uniform_population(flow_count, tenants=tenants)
+        rng = RngRegistry(seed=3).stream("draw")
+        for _ in range(50):
+            flow, vni = population.choose(rng)
+            assert flow in population.flows
+            assert 0 <= vni < tenants
+
+
+class TestSources:
+    def test_cbr_rate(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        CbrSource(
+            sim, RngRegistry(1).stream("s"), received.append, population, rate_pps=10_000
+        )
+        sim.run_until(100 * MS)
+        assert len(received) == pytest.approx(1000, abs=2)
+
+    def test_cbr_rate_change(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        source = CbrSource(
+            sim, RngRegistry(1).stream("s"), received.append, population, rate_pps=10_000
+        )
+        sim.schedule_at(50 * MS, source.set_rate, 0)
+        sim.run_until(200 * MS)
+        assert len(received) == pytest.approx(500, abs=2)
+
+    def test_cbr_count_limit(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        CbrSource(
+            sim,
+            RngRegistry(1).stream("s"),
+            received.append,
+            population,
+            rate_pps=100_000,
+            count_limit=42,
+        )
+        sim.run_until(1 * SECOND)
+        assert len(received) == 42
+
+    def test_poisson_mean_rate(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        PoissonSource(
+            sim, RngRegistry(1).stream("s"), received.append, population, rate_pps=10_000
+        )
+        sim.run_until(1 * SECOND)
+        assert len(received) == pytest.approx(10_000, rel=0.1)
+
+    def test_poisson_interarrival_variance(self):
+        """Poisson arrivals must NOT be evenly spaced like CBR."""
+        sim = Simulator()
+        times = []
+        population = uniform_population(10)
+        PoissonSource(
+            sim,
+            RngRegistry(1).stream("s"),
+            lambda p: times.append(sim.now),
+            population,
+            rate_pps=10_000,
+        )
+        sim.run_until(1 * SECOND)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert stddev(gaps) > 0.5 * mean(gaps)
+
+    def test_stop(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        source = CbrSource(
+            sim, RngRegistry(1).stream("s"), received.append, population, rate_pps=10_000
+        )
+        sim.schedule_at(10 * MS, source.stop)
+        sim.run_until(1 * SECOND)
+        assert len(received) < 200
+
+
+class TestMicroburst:
+    def test_bursts_raise_rate(self):
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        source = MicroburstSource(
+            sim,
+            RngRegistry(1).stream("s"),
+            lambda p: received.append(sim.now),
+            population,
+            base_rate_pps=10_000,
+            burst_factor=10.0,
+            burst_duration_ns=10 * MS,
+            burst_period_ns=100 * MS,
+        )
+        sim.run_until(1 * SECOND)
+        assert source.bursts_started >= 3
+        # More packets than the base rate alone would produce.
+        assert len(received) > 10_000 * 1.1
+
+    def test_rate_restores_after_burst(self):
+        sim = Simulator()
+        population = uniform_population(10)
+        source = MicroburstSource(
+            sim,
+            RngRegistry(1).stream("s"),
+            lambda p: None,
+            population,
+            base_rate_pps=10_000,
+            burst_duration_ns=5 * MS,
+            burst_period_ns=50 * MS,
+        )
+        sim.run_until(1 * SECOND)
+        assert not source.in_burst or source.rate_pps > 10_000
+
+
+class TestTenants:
+    def test_rate_changes_applied(self):
+        sim = Simulator()
+        rngs = RngRegistry(seed=1)
+        received = {}
+        profiles = [
+            TenantProfile(vni=1, rate_pps=10_000, rate_changes=[(50 * MS, 50_000)]),
+            TenantProfile(vni=2, rate_pps=10_000),
+        ]
+        TenantSet(
+            sim,
+            rngs,
+            lambda p: received.__setitem__(
+                (p.vni, p.uid), sim.now
+            ),
+            profiles,
+        )
+        sim.run_until(100 * MS)
+        tenant1 = sum(1 for (vni, _) in received if vni == 1)
+        tenant2 = sum(1 for (vni, _) in received if vni == 2)
+        assert tenant1 == pytest.approx(500 + 2500, rel=0.05)
+        assert tenant2 == pytest.approx(1000, rel=0.05)
+
+    def test_overload_profiles_shape(self):
+        profiles = overload_scenario_profiles(scale=0.001)
+        assert [p.rate_pps for p in profiles] == [4000, 3000, 2000, 1000]
+        assert profiles[0].rate_changes == [(15 * SECOND, 34_000)]
+        assert all(not p.rate_changes for p in profiles[1:])
+
+
+class TestTraces:
+    def test_diurnal_mean(self):
+        rate = diurnal_rate_fn(1000)
+        samples = [rate(t * 3600) for t in range(24)]
+        assert mean(samples) == pytest.approx(1000, rel=0.02)
+        assert max(samples) > 1.4 * min(samples)
+
+    def test_weekly_profile_length(self):
+        profile = weekly_load_profile(1000, samples_per_day=24, days=7)
+        assert len(profile) == 168
+
+    def test_schedule_profile_compression(self):
+        sim = Simulator()
+        rates = []
+
+        class FakeSource:
+            def set_rate(self, pps):
+                rates.append((sim.now, pps))
+
+        profile = [(0.0, 100), (86400.0, 200)]
+        schedule_profile(sim, FakeSource(), profile, time_compression=1e-6)
+        sim.run()
+        assert rates[-1] == (86400 * 1000, 200)
+
+
+class TestHistogram:
+    def test_percentiles_exact_for_small_sets(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.record(value)
+        assert histogram.percentile(0.5) == 50
+        assert histogram.percentile(0.99) == 99
+        assert histogram.percentile(1.0) == 100
+
+    def test_mean_min_max(self):
+        histogram = LatencyHistogram()
+        for value in (10, 20, 30):
+            histogram.record(value)
+        assert histogram.mean_ns == 20
+        assert histogram.min_ns == 10
+        assert histogram.max_ns == 30
+
+    def test_fraction_below(self):
+        histogram = LatencyHistogram()
+        for value in range(10):
+            histogram.record(value * 1000)
+        assert histogram.fraction_below(5000) == pytest.approx(0.5)
+
+    def test_bucket_counts_monotone_keys(self):
+        histogram = LatencyHistogram()
+        for value in (1, 10, 100, 1000, 10_000):
+            histogram.record(value)
+        keys = list(histogram.bucket_counts().keys())
+        assert keys == sorted(keys)
+
+    def test_reservoir_keeps_percentiles_reasonable(self):
+        histogram = LatencyHistogram(max_samples=1000, seed=7)
+        for value in range(100_000):
+            histogram.record(value)
+        # True P50 is 50_000; reservoir estimate should be close.
+        assert histogram.percentile(0.5) == pytest.approx(50_000, rel=0.15)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().record(-1)
+
+    def test_merge(self):
+        a = LatencyHistogram()
+        b = LatencyHistogram()
+        a.record(10)
+        b.record(30)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_ns == 30
+
+
+class TestCountersAndStats:
+    def test_counter_delta(self):
+        counters = CounterSet()
+        counters.incr("x", 5)
+        snapshot = counters.snapshot()
+        counters.incr("x", 3)
+        counters.incr("y")
+        assert counters.delta(snapshot) == {"x": 3, "y": 1}
+
+    def test_stddev(self):
+        assert stddev([1, 1, 1]) == 0
+        assert stddev([0, 2]) == 1.0
+        assert stddev([5]) == 0.0
+
+    def test_utilization_sampler(self):
+        sim = Simulator()
+
+        class FakeCore:
+            def __init__(self):
+                class Stats:
+                    busy_ns = 0
+
+                self.stats = Stats()
+
+        cores = [FakeCore(), FakeCore()]
+        sampler = UtilizationSampler(sim, cores, period_ns=10 * MS)
+        sim.schedule_at(5 * MS, lambda: setattr(cores[0].stats, "busy_ns", 5 * MS))
+        sim.run_until(20 * MS)
+        sampler.stop()
+        assert len(sampler.samples) == 2
+        assert sampler.samples[0] == [0.5, 0.0]
+        assert sampler.stddev_series[0] == pytest.approx(0.25)
