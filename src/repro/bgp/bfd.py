@@ -155,7 +155,7 @@ class BfdSession:
 
 
 def bfd_pair(sim, name_a="a", name_b="b", interval_ns=50 * MS, latency_ns=100_000,
-             loss_fn_ab=None, loss_fn_ba=None, on_down=None):
+             loss_fn_ab=None, loss_fn_ba=None, on_down=None, on_up=None):
     """Two BFD endpoints wired through (optionally lossy) channels."""
     holder = {}
 
@@ -169,6 +169,62 @@ def bfd_pair(sim, name_a="a", name_b="b", interval_ns=50 * MS, latency_ns=100_00
             return
         sim.schedule(latency_ns, holder["a"].receive, data)
 
-    holder["a"] = BfdSession(sim, name_a, send_a, interval_ns, on_down=on_down)
-    holder["b"] = BfdSession(sim, name_b, send_b, interval_ns, on_down=on_down)
+    holder["a"] = BfdSession(sim, name_a, send_a, interval_ns, on_down=on_down,
+                             on_up=on_up)
+    holder["b"] = BfdSession(sim, name_b, send_b, interval_ns, on_down=on_down,
+                             on_up=on_up)
     return holder["a"], holder["b"]
+
+
+class BfdLink:
+    """A symmetric BFD-monitored link that can be flapped (fault injection).
+
+    While the link is down every probe in both directions is lost; both
+    endpoints detect the outage within ``multiplier * interval`` (the
+    paper-faithful 3 x 50 ms default) and declare DOWN.  When the link
+    comes back the still-running transmit tasks re-run the three-way
+    handshake and the sessions return to UP.
+
+    Attributes:
+        a / b: the two :class:`BfdSession` endpoints.
+        probes_lost: probes dropped while the link was down.
+    """
+
+    def __init__(self, sim, interval_ns=50 * MS, latency_ns=100_000,
+                 on_down=None, on_up=None):
+        self.sim = sim
+        self.up = True
+        self.probes_lost = 0
+        self.flaps = 0
+        self.a, self.b = bfd_pair(
+            sim,
+            interval_ns=interval_ns,
+            latency_ns=latency_ns,
+            loss_fn_ab=self._lossy,
+            loss_fn_ba=self._lossy,
+            on_down=on_down,
+            on_up=on_up,
+        )
+
+    def _lossy(self):
+        if not self.up:
+            self.probes_lost += 1
+            return True
+        return False
+
+    def set_down(self):
+        """Cut the link: all probes are lost until :meth:`set_up`."""
+        if self.up:
+            self.up = False
+            self.flaps += 1
+
+    def set_up(self):
+        self.up = True
+
+    @property
+    def sessions_up(self):
+        return self.a.state is BfdState.UP and self.b.state is BfdState.UP
+
+    def stop(self):
+        self.a.stop()
+        self.b.stop()

@@ -6,11 +6,23 @@ Commands:
   throughput/latency report (the quickstart, parameterized).
 * ``experiment`` -- run one named experiment (or ``all``) and print its
   table; names match :func:`repro.experiments.runner.all_experiments`.
+* ``faults`` -- run a named fault-injection scenario (or ``all``) from
+  :mod:`repro.faults.scenarios` and print its recovery report.
 * ``inventory`` -- list the available experiments and gateway services.
 """
 
 import argparse
 import sys
+
+# Kept in sync with repro.faults.scenarios.SCENARIOS (asserted by tests)
+# so building the parser does not import the simulation stack.
+FAULT_SCENARIOS = (
+    "bfd-flap",
+    "chaos",
+    "core-stall-plb-vs-rss",
+    "limiter-reset",
+    "pod-crash-reschedule",
+)
 
 
 def build_parser():
@@ -43,6 +55,19 @@ def build_parser():
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="experiment name or 'all'")
     experiment.add_argument("--quick", action="store_true", help="shorter runs")
+
+    faults = commands.add_parser(
+        "faults", help="run a fault-injection scenario"
+    )
+    faults.add_argument(
+        "scenario",
+        choices=FAULT_SCENARIOS + ("all",),
+        help="named scenario (or 'all')",
+    )
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument(
+        "--quick", action="store_true", help="scaled-down timings"
+    )
 
     commands.add_parser("inventory", help="list experiments and services")
     return parser
@@ -111,6 +136,18 @@ def cmd_experiment(args):
     return 0
 
 
+def cmd_faults(args):
+    from repro.faults.scenarios import run_scenario
+
+    names = FAULT_SCENARIOS if args.scenario == "all" else (args.scenario,)
+    for index, name in enumerate(names):
+        if index:
+            print()
+        report = run_scenario(name, seed=args.seed, quick=args.quick)
+        print(report.render())
+    return 0
+
+
 def cmd_inventory(_args):
     from repro.cpu.service import standard_services
     from repro.experiments.runner import all_experiments
@@ -130,6 +167,7 @@ def main(argv=None):
     handlers = {
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
+        "faults": cmd_faults,
         "inventory": cmd_inventory,
     }
     return handlers[args.command](args)

@@ -53,12 +53,15 @@ class ElasticityManager:
             the old pod withdraws -- never the other way around).
     """
 
-    def __init__(self, sim, prepare_fn, validate_fn, advertise_fn, withdraw_fn):
+    def __init__(self, sim, prepare_fn, validate_fn, advertise_fn, withdraw_fn,
+                 prepare_ns=POD_PREPARE_NS, validation_ns=VALIDATION_NS):
         self.sim = sim
         self.prepare_fn = prepare_fn
         self.validate_fn = validate_fn
         self.advertise_fn = advertise_fn
         self.withdraw_fn = withdraw_fn
+        self.prepare_ns = prepare_ns
+        self.validation_ns = validation_ns
         self.migrations = []
 
     def start_migration(self, old_pod_name, new_pod_name):
@@ -66,15 +69,37 @@ class ElasticityManager:
         plan = MigrationPlan(old_pod_name, new_pod_name)
         plan.history[0] = ("preparing", self.sim.now)
         self.migrations.append(plan)
-        self.sim.schedule(POD_PREPARE_NS, self._prepared, plan)
+        self.sim.schedule(self.prepare_ns, self._prepared, plan)
         return plan
+
+    def start_replacement(self, dead_pod_name, new_pod_name):
+        """Crash recovery: reschedule a dead pod's replacement.
+
+        Unlike :meth:`start_migration` there is no make-before-break --
+        the dead pod is already gone -- so its route is withdrawn
+        immediately and the replacement advertises as soon as the
+        container scheduler has it running (~10 s), with no validation
+        window.  Returns the plan.
+        """
+        plan = MigrationPlan(dead_pod_name, new_pod_name)
+        plan.history[0] = ("preparing", self.sim.now)
+        self.migrations.append(plan)
+        self.withdraw_fn(dead_pod_name)
+        self.sim.schedule(self.prepare_ns, self._replacement_ready, plan)
+        return plan
+
+    def _replacement_ready(self, plan):
+        self.prepare_fn(plan.new_pod_name)
+        plan.advance("advertising", self.sim.now)
+        self.advertise_fn(plan.new_pod_name)
+        plan.advance("done", self.sim.now)
 
     def _prepared(self, plan):
         self.prepare_fn(plan.new_pod_name)
         plan.advance("advertising", self.sim.now)
         self.advertise_fn(plan.new_pod_name)
         plan.advance("validating", self.sim.now)
-        self.sim.schedule(VALIDATION_NS, self._validated, plan)
+        self.sim.schedule(self.validation_ns, self._validated, plan)
 
     def _validated(self, plan):
         if not self.validate_fn(plan.new_pod_name):

@@ -92,6 +92,44 @@ class FleetScheduler:
             self.place_pod(name, cores, memory_gb)
         return dict(self.placements)
 
+    def reschedule_pod(self, pod_name, exclude_servers=()):
+        """Crash recovery: evict a pod and re-place it elsewhere.
+
+        ``exclude_servers`` names servers that must not receive the pod
+        (typically the one that just failed).  Returns the new
+        ``(server_name, numa_node)``; raises :class:`PlacementError` (with
+        the pod left evicted) if nothing else fits.
+        """
+        entry = None
+        for state in self._servers:
+            for candidate in state.pods:
+                if candidate[0] == pod_name:
+                    entry = candidate
+                    break
+            if entry is not None:
+                break
+        if entry is None:
+            raise ValueError(f"unknown pod {pod_name!r}")
+        _, _, cores, memory_gb = entry
+        self.evict_pod(pod_name)
+        candidates = sorted(
+            (
+                state
+                for state in self._servers
+                if state.spec.name not in exclude_servers
+            ),
+            key=lambda state: sum(state.free_cores),
+        )
+        for state in candidates:
+            node = state.place(pod_name, cores, memory_gb)
+            if node is not None:
+                placement = (state.spec.name, node)
+                self.placements[pod_name] = placement
+                return placement
+        raise PlacementError(
+            f"no server outside {set(exclude_servers)!r} fits pod {pod_name!r}"
+        )
+
     def evict_pod(self, pod_name):
         for state in self._servers:
             for entry in state.pods:

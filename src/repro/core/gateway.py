@@ -105,6 +105,7 @@ class GwPodRuntime:
         self.rng = rng
         self.latency_histogram = LatencyHistogram()
         self.outcomes = {}
+        self.crashed = False
         self._started_ns = sim.now
 
         if config.custom_service is not None:
@@ -202,7 +203,31 @@ class GwPodRuntime:
 
     def ingress(self, packet):
         """Feed a packet into the pod's NIC slice."""
+        if self.crashed:
+            # The container is gone; anything still routed here blackholes
+            # until BGP converges away from the dead pod.
+            packet.drop_reason = "pod_crashed"
+            self.nic.counters.incr("pod_crashed_drops")
+            return
         self.nic.ingress(packet)
+
+    def crash(self):
+        """Fault injection: the container dies mid-flight.
+
+        Every data core goes offline (in-queue packets are lost with the
+        container) and subsequent ingress blackholes.  Recovery is the
+        container scheduler's job: reschedule a replacement pod and let
+        BGP/BFD converge -- see ``repro.faults``.
+        """
+        self.crashed = True
+        for core in self.cores:
+            core.fail()
+
+    def restore(self):
+        """Bring the (restarted) pod back into service."""
+        self.crashed = False
+        for core in self.cores:
+            core.restore()
 
     @property
     def counters(self):

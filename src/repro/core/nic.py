@@ -96,6 +96,8 @@ class NicPipeline:
         # Meta placement only affects CPU-side throughput; model it as a
         # service-time inflation factor applied by the gateway runtime.
         self.cpu_throughput_factor = placement_throughput_factor(config.meta_placement)
+        self._fpga_stalled = False
+        self._heartbeat = 0
         self._rx_latency_ns = self.latency.rx_ns()
         self._tx_dma_ns = self.latency.module_ns("dma", "tx")
         self._tx_post_reorder_ns = self.latency.module_ns(
@@ -110,6 +112,12 @@ class NicPipeline:
         """A packet arrives from the wire at the current sim time."""
         packet.arrival_ns = self.sim.now
         self.counters.incr("rx_packets")
+        if self._fpga_stalled:
+            # A stalled pipeline makes no forward progress; the wire keeps
+            # delivering and the packets are simply lost.
+            packet.drop_reason = "fpga_stall"
+            self.counters.incr("fpga_stall_drops")
+            return
         path, header_only = self.pkt_dir.classify(packet)
 
         if path is DeliveryPath.PRIORITY:
@@ -215,3 +223,39 @@ class NicPipeline:
     def restore_plb(self):
         self.config.mode = "plb"
         self.pkt_dir.set_default_data_path(DeliveryPath.PLB)
+
+    # ------------------------------------------------------------------
+    # FPGA fault hooks
+    # ------------------------------------------------------------------
+
+    @property
+    def fpga_stalled(self):
+        return self._fpga_stalled
+
+    def set_fpga_stalled(self, stalled=True):
+        """Fault injection: freeze (or unfreeze) the FPGA pipeline."""
+        self._fpga_stalled = bool(stalled)
+
+    def heartbeat(self):
+        """Liveness beacon polled by the FPGA watchdog.
+
+        A healthy pipeline advances the counter on every poll; a stalled
+        one returns the same value, which is how the watchdog detects it.
+        """
+        if not self._fpga_stalled:
+            self._heartbeat += 1
+        return self._heartbeat
+
+    def recover_fpga(self):
+        """Watchdog remediation: unstall and reset the pipeline.
+
+        The reset drops all in-flight reorder state (§4.1: the watchdog
+        reset is a full pipeline reload); in-flight packets surface later
+        as stale-epoch writebacks and leave best-effort.  Returns the
+        number of in-flight packets whose reorder state was dropped.
+        """
+        self._fpga_stalled = False
+        dropped = self.reorder.reset()
+        self.counters.incr("fpga_resets")
+        self.counters.incr("fpga_reset_inflight_drops", dropped)
+        return dropped

@@ -41,6 +41,7 @@ class PlbDispatcher:
         self._rr_index = 0
         self.dispatched = 0
         self.fifo_full_drops = 0
+        self.dead_core_drops = 0
 
     def ordq_index(self, flow):
         """``get_ordq_idx``: 5-tuple hash onto the pod's order queues."""
@@ -50,24 +51,50 @@ class PlbDispatcher:
         """Tag and spray one packet.
 
         Returns the selected core, or None if the packet was dropped
-        because its order queue was full.  On success the packet carries a
-        populated ``meta`` and its reorder info is queued.
+        (order queue full, or every core offline).  On success the packet
+        carries a populated ``meta`` and its reorder info is queued.
+
+        Failed cores are skipped: the FPGA observes a dead doorbell and
+        sprays around it, so PLB absorbs a lost core with the survivors
+        (RSS, hash-pinned, cannot -- that contrast is the
+        core-stall-plb-vs-rss fault scenario).
         """
+        core, next_index = self._next_available_core()
+        if core is None:
+            self.dead_core_drops += 1
+            packet.drop_reason = "no_available_core"
+            return None
         now = self.now_fn()
         ordq = self.ordq_index(packet.flow)
         psn = self.reorder.admit(ordq, now)
         if psn is None:
+            # Rotation is not advanced on a drop: the slot stays with this
+            # core for the next successful dispatch.
             self.fifo_full_drops += 1
             packet.drop_reason = "reorder_fifo_full"
             return None
+        self._rr_index = next_index
         packet.meta = PlbMeta(
-            psn=psn, ordq=ordq, timestamp_ns=now, header_only=header_only
+            psn=psn, ordq=ordq, timestamp_ns=now, header_only=header_only,
+            epoch=self.reorder.epoch,
         )
         packet.header_only = header_only
-        core = self.cores[self._rr_index]
-        self._rr_index = (self._rr_index + 1) % len(self.cores)
         self.dispatched += 1
         return core
+
+    def _next_available_core(self):
+        """Next online core in rotation, as ``(core, index_after_it)``.
+
+        The caller commits ``index_after_it`` to ``_rr_index`` only once
+        the dispatch succeeds, so drops do not advance the rotation.
+        """
+        index = self._rr_index
+        for _ in range(len(self.cores)):
+            core = self.cores[index]
+            index = (index + 1) % len(self.cores)
+            if getattr(core, "available", True):
+                return core, index
+        return None, self._rr_index
 
     def spray_counts(self):
         """Packets-per-core counter snapshot (diagnostics for Fig. 8)."""

@@ -86,6 +86,9 @@ class ReorderStats:
         "payload_gone_drops",
         "fifo_full",
         "hol_events",
+        "resets",
+        "reset_inflight_drops",
+        "stale_epoch_writebacks",
     )
 
     def __init__(self):
@@ -146,6 +149,7 @@ class ReorderEngine:
         self.transmit_fn = transmit_fn
         self.payload_retention_ns = payload_retention_ns
         self.stats = ReorderStats()
+        self.epoch = 0
         self._queues = [_ReorderQueue(config.depth) for _ in range(config.queue_count)]
 
     @property
@@ -191,6 +195,14 @@ class ReorderEngine:
         meta = packet.meta
         if meta is None:
             raise ValueError("writeback of a packet without PLB meta")
+        if meta.epoch != self.epoch:
+            # Admitted before a watchdog pipeline reset: its FIFO slot is
+            # gone and its PSN belongs to a dead generation.  Handle it
+            # best-effort so a stale sequence number can never block or
+            # misorder the post-recovery window.
+            self.stats.stale_epoch_writebacks += 1
+            self._transmit_late(packet)
+            return
         queue = self._queues[meta.ordq]
 
         if not self._legal_check(queue, meta.psn12):
@@ -215,6 +227,33 @@ class ReorderEngine:
             # (immediately, if it is the head).
             pass
         self._drain(meta.ordq, queue)
+
+    def reset(self):
+        """FPGA watchdog pipeline reset: drop all in-flight reorder state.
+
+        FIFOs, BUF and BITMAP are cleared, PSN generators rewind to 0 and
+        the engine's epoch advances; writebacks of pre-reset packets are
+        recognized by their stale epoch and handled best-effort.  BUF
+        residents that had already returned from the CPU are lost with the
+        rest of the pipeline state.  Returns the number of in-flight
+        packets whose reorder state was dropped.
+        """
+        dropped = 0
+        for queue in self._queues:
+            dropped += len(queue.fifo)
+            if queue.timeout_event is not None:
+                queue.timeout_event.cancel()
+                queue.timeout_event = None
+            queue.fifo.clear()
+            queue.buf = [None] * 4096
+            queue.bitmap_valid = [False] * 4096
+            queue.bitmap_psn = [0] * 4096
+            queue.head_ptr = 0
+            queue.tail_ptr = 0
+        self.epoch += 1
+        self.stats.resets += 1
+        self.stats.reset_inflight_drops += dropped
+        return dropped
 
     def notify_drop(self, packet):
         """Active drop-flag path: the CPU dropped ``packet`` explicitly."""

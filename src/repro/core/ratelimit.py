@@ -165,6 +165,7 @@ class TwoStageRateLimiter:
         self._sampler = _HitterSampler(rng, sample_rate=sample_rate)
         self.decisions = {decision: 0 for decision in RateLimitDecision}
         self.promotions = 0
+        self.sram_resets = 0
 
     # -- configuration -------------------------------------------------
 
@@ -195,6 +196,23 @@ class TwoStageRateLimiter:
     @property
     def pre_table_vnis(self):
         return set(self._pre_meter)
+
+    def corrupt_sram(self):
+        """Fault injection: an SRAM scrub wipes every token bucket.
+
+        Buckets lazily re-materialize at full burst on the next packet, so
+        the visible symptom is a transient over-admission burst (each
+        tenant gets a fresh ``burst`` worth of tokens) before the limiter
+        re-converges to steady-state enforcement.  Promoted heavy hitters
+        lose their pre_meter entries and must be re-detected by sampling.
+        Returns the number of live bucket entries wiped.
+        """
+        wiped = len(self._color) + len(self._meter) + len(self._pre_meter)
+        self._color.clear()
+        self._meter.clear()
+        self._pre_meter.clear()
+        self.sram_resets += 1
+        return wiped
 
     # -- data path -------------------------------------------------------
 
@@ -237,6 +255,13 @@ class TwoStageRateLimiter:
         return RateLimitDecision.DROP_METER
 
     # -- accounting ------------------------------------------------------
+
+    def decisions_dropped(self):
+        """Total packets dropped by any stage (meter or pre_meter)."""
+        return (
+            self.decisions[RateLimitDecision.DROP_METER]
+            + self.decisions[RateLimitDecision.DROP_PRE]
+        )
 
     def sram_bytes(self):
         """Provisioned on-chip SRAM (hardware sizes all entries up front)."""

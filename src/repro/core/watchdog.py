@@ -10,9 +10,14 @@ tolerated -- minor HOL is normal and handled by the timeout).
 
 The watchdog can also restore PLB after a configurable quiet interval,
 for operators who want auto-recovery rather than a sticky fallback.
+
+:class:`FpgaWatchdog` models the other watchdog the paper relies on in
+production: a liveness monitor that polls the FPGA pipeline's heartbeat
+and, after ``strikes`` missed beats, resets the pipeline (dropping all
+in-flight reorder state) to bring the NIC back.
 """
 
-from repro.sim.units import SECOND
+from repro.sim.units import MS, SECOND
 
 
 class PlbWatchdog:
@@ -95,6 +100,55 @@ class PlbWatchdog:
                 self.fallbacks += 1
         else:
             self._strike_count = 0
+
+    def stop(self):
+        self._task.cancel()
+
+
+class FpgaWatchdog:
+    """Detects a stalled FPGA pipeline and resets it (§4.1 remediation).
+
+    Polls ``nic.heartbeat()`` every ``period_ns``; a poll where the beat
+    did not advance counts as a strike, and ``strikes`` consecutive
+    strikes trigger ``nic.recover_fpga()`` (pipeline reload: the in-flight
+    reorder state is dropped and traffic resumes).  Worst-case detection
+    latency is therefore ``(strikes + 1) * period_ns``.
+
+    Parameters:
+        sim: the simulator.
+        nic: the pod's :class:`~repro.core.nic.NicPipeline`.
+        period_ns: heartbeat polling period.
+        strikes: consecutive missed beats before resetting.
+        on_reset: optional callback ``on_reset(watchdog)`` fired after
+            each reset (fault injectors hook detection metrics here).
+    """
+
+    def __init__(self, sim, nic, period_ns=10 * MS, strikes=2, on_reset=None):
+        self.sim = sim
+        self.nic = nic
+        self.period_ns = period_ns
+        self.strikes = strikes
+        self.on_reset = on_reset
+        self.resets = 0
+        self.inflight_dropped = 0
+        self._strike_count = 0
+        self._last_beat = nic.heartbeat()
+        self._task = sim.every(period_ns, self._check)
+
+    def _check(self):
+        beat = self.nic.heartbeat()
+        if beat == self._last_beat:
+            self._strike_count += 1
+            if self._strike_count >= self.strikes:
+                self.inflight_dropped += self.nic.recover_fpga()
+                self.resets += 1
+                self._strike_count = 0
+                self._last_beat = self.nic.heartbeat()
+                if self.on_reset is not None:
+                    self.on_reset(self)
+        else:
+            self._strike_count = 0
+            self._last_beat = beat
 
     def stop(self):
         self._task.cancel()

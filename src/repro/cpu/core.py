@@ -80,10 +80,17 @@ class CpuCore:
         self.stats = CoreStats()
         self._busy = False
         self._pending_stall_ns = 0
+        self._failed = False
+        self._resume_event = None
 
     @property
     def busy(self):
         return self._busy
+
+    @property
+    def available(self):
+        """False while the core is failed/offline (fault injection)."""
+        return not self._failed
 
     @property
     def rx_dropped(self):
@@ -107,7 +114,37 @@ class CpuCore:
         self._pending_stall_ns += int(duration_ns)
         self.stats.stall_ns += int(duration_ns)
 
+    def fail(self, duration_ns=None):
+        """Take the core offline (fault injection).
+
+        A failed core finishes its in-flight packet (run-to-completion)
+        but starts no new ones; its RX queue keeps accepting packets and
+        backs up, which is exactly the behaviour that produces RSS
+        head-of-line blocking while PLB sprays around the dead core.
+        With ``duration_ns`` the core auto-recovers; otherwise it stays
+        down until :meth:`restore`.
+        """
+        self._failed = True
+        if self._resume_event is not None:
+            self._resume_event.cancel()
+            self._resume_event = None
+        if duration_ns is not None:
+            self.stats.stall_ns += int(duration_ns)
+            self._resume_event = self.sim.schedule(int(duration_ns), self.restore)
+
+    def restore(self):
+        """Bring a failed core back; drains whatever queued while down."""
+        self._failed = False
+        if self._resume_event is not None:
+            self._resume_event.cancel()
+            self._resume_event = None
+        if not self._busy:
+            self._start_next()
+
     def _start_next(self):
+        if self._failed:
+            self._busy = False
+            return
         packet = self.rx_queue.pop()
         if packet is None:
             self._busy = False

@@ -1,0 +1,30 @@
+"""Deterministic fault injection and graceful-degradation scenarios.
+
+The paper's production story rests on surviving failures: FPGA watchdog
+resets, GW-pod crashes rescheduled in ~10 s, BGP/BFD detecting peer loss
+within three probe intervals.  This package turns those claims into
+testable machinery:
+
+* :mod:`repro.faults.plan` -- typed faults (:class:`FaultKind`) with an
+  injection time, duration and target, composed into a
+  :class:`FaultPlan`; plus a seeded random chaos generator.
+* :mod:`repro.faults.injector` -- :class:`FaultInjector` drives a plan on
+  the simulator clock, flips the fault hooks wired into the NIC, CPU,
+  BGP and container layers, and records per-fault recovery metrics
+  (detection latency, blackout drops, time-to-steady-state).
+* :mod:`repro.faults.scenarios` -- named end-to-end scenarios runnable as
+  ``python -m repro faults <name>``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord, FaultTargets, SteadyStateTracker
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultTargets",
+    "SteadyStateTracker",
+]

@@ -28,17 +28,21 @@ class Event:
     popped (lazy deletion), which is O(1) instead of O(n).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time, fn, args):
+    def __init__(self, time, fn, args, sim=None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self):
         """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live_events -= 1
 
     def __repr__(self):
         state = "cancelled" if self.cancelled else "pending"
@@ -64,6 +68,7 @@ class Simulator:
         self._heap = []
         self._sequence = 0
         self._events_processed = 0
+        self._live_events = 0
         self._running = False
         self._stopped = False
 
@@ -79,8 +84,13 @@ class Simulator:
 
     @property
     def pending(self):
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): a live-event counter is maintained across schedule, cancel
+        and pop instead of scanning the heap (fault plans cancel many
+        timers, and chaos runs read ``pending`` inside assertions).
+        """
+        return self._live_events
 
     def schedule(self, delay, fn, *args):
         """Schedule ``fn(*args)`` to run ``delay`` nanoseconds from now.
@@ -99,9 +109,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, fn, args)
+        event = Event(time, fn, args, sim=self)
         heapq.heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
+        self._live_events += 1
         return event
 
     def stop(self):
@@ -114,6 +125,8 @@ class Simulator:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live_events -= 1
+            event._sim = None  # a late cancel() must not decrement again
             self._now = time
             self._events_processed += 1
             event.fn(*event.args)
@@ -157,6 +170,8 @@ class Simulator:
                 heapq.heappop(self._heap)
                 if event.cancelled:
                     continue
+                self._live_events -= 1
+                event._sim = None  # a late cancel() must not decrement again
                 self._now = time
                 self._events_processed += 1
                 event.fn(*event.args)
@@ -201,6 +216,8 @@ class PeriodicTask:
         delay = self.interval
         if self._jitter_fn is not None:
             delay = max(0, delay + int(self._jitter_fn()))
+            if self._cancelled:  # jitter_fn may also have cancelled us
+                return
         self._event = self._sim.schedule(delay, self._fire)
 
     def cancel(self):

@@ -201,6 +201,130 @@ class TestPeriodicTask:
         sim.run_until(40)
         assert times == [10, 22, 34]
 
+    def test_cancel_inside_jitter_fn(self):
+        # A jitter_fn that cancels its own task must stop the cycle
+        # without scheduling one more firing.
+        sim = Simulator()
+        times = []
+
+        def jitter():
+            if len(times) == 2:
+                task.cancel()
+            return 0
+
+        task = sim.every(10, lambda: times.append(sim.now), jitter_fn=jitter)
+        sim.run_until(200)
+        assert times == [10, 20]
+        assert sim.pending == 0
+
+    def test_negative_jitter_clamps_at_zero_delay(self):
+        # Jitter larger than the interval clamps the next delay to 0:
+        # the task re-fires at the same timestamp, it never goes back in
+        # time (which the scheduler would reject).
+        sim = Simulator()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            if len(times) == 3:
+                task.cancel()
+
+        task = sim.every(10, tick, jitter_fn=lambda: -50)
+        sim.run_until(100)
+        assert times == [10, 10, 10]
+
+    def test_small_negative_jitter_shortens_period(self):
+        sim = Simulator()
+        times = []
+        sim.every(10, lambda: times.append(sim.now), jitter_fn=lambda: -4)
+        sim.run_until(25)
+        assert times == [10, 16, 22]
+
+
+class TestStopAndScheduleEdgeCases:
+    def test_stop_during_run_until_leaves_now_at_last_event(self):
+        # run_until only fast-forwards now to the boundary on a clean
+        # finish; a stop() mid-run must leave now at the stopping event.
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, fired.append, "a")
+        sim.schedule(20, sim.stop)
+        sim.schedule(30, fired.append, "b")
+        sim.run_until(100)
+        assert fired == ["a"]
+        assert sim.now == 20
+        assert sim.pending == 1
+
+    def test_schedule_at_exactly_now_fires_same_timestamp(self):
+        sim = Simulator()
+        seen = []
+
+        def handler():
+            sim.schedule_at(sim.now, lambda: seen.append(sim.now))
+
+        sim.schedule(40, handler)
+        sim.run()
+        assert seen == [40]
+
+
+class TestPendingAccounting:
+    """The live-event counter must stay exact across cancel/pop paths."""
+
+    def test_cancel_then_pop_accounting(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(10, fired.append, "keep")
+        drop = sim.schedule(5, fired.append, "drop")
+        assert sim.pending == 2
+        drop.cancel()
+        assert sim.pending == 1
+        sim.run()  # pops both heap entries: one cancelled, one live
+        assert fired == ["keep"]
+        assert sim.pending == 0
+        assert keep.cancelled is False
+
+    def test_late_cancel_after_fire_does_not_double_decrement(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        event.cancel()  # already fired: must be a no-op on the counter
+        assert sim.pending == 0
+        sim.schedule(10, lambda: None)
+        assert sim.pending == 1
+
+    def test_event_cancelling_itself_inside_callback(self):
+        sim = Simulator()
+        holder = {}
+        holder["event"] = sim.schedule(10, lambda: holder["event"].cancel())
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        other = sim.schedule(20, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+        other.cancel()
+        assert sim.pending == 0
+
+    def test_pending_tracks_run_until_boundary(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run_until(50)
+        assert sim.pending == 1
+
+    def test_pending_with_periodic_task(self):
+        sim = Simulator()
+        task = sim.every(10, lambda: None)
+        sim.run_until(35)
+        assert sim.pending == 1  # the next firing is queued
+        task.cancel()
+        assert sim.pending == 0
+
 
 class TestUnits:
     def test_constants(self):
