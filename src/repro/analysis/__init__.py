@@ -1,0 +1,46 @@
+"""Correctness tooling: determinism linter + runtime simulation sanitizer.
+
+Every claim this reproduction makes -- per-flow ordering out of the reorder
+engine, byte-identical fault-scenario reports, the rate-limiter shape --
+rests on the simulation being deterministic and invariant-preserving.  This
+package makes those properties machine-checked:
+
+* **Linter** (``python -m repro lint``): AST rules (DET001..DET004) that
+  catch the ways determinism silently breaks -- stray ``random``/``time``
+  imports, unsorted dict/set iteration feeding scheduling decisions, float
+  equality on simtime, hand-rolled event heaps.  See :mod:`.rules`.
+* **Sanitizer** (``REPRO_SANITIZE=1`` or ``python -m repro sanitize``):
+  cheap, toggleable runtime invariant checks wired into the sim engine,
+  NIC pipeline, reorder engine, rate limiter and CPU cores.  Violations
+  raise :class:`SanitizerViolation` with the offending event trace.  See
+  :mod:`.sanitizer`.
+"""
+
+from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.reporter import (
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizer import (
+    Sanitizer,
+    SanitizerViolation,
+    get_sanitizer,
+    install,
+    uninstall,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Sanitizer",
+    "SanitizerViolation",
+    "all_rules",
+    "get_rule",
+    "get_sanitizer",
+    "install",
+    "lint_paths",
+    "lint_source",
+    "uninstall",
+]

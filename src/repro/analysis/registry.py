@@ -1,0 +1,71 @@
+"""Rule registry for the determinism linter.
+
+Rules are :class:`ast.NodeVisitor` subclasses registered by decorating them
+with :func:`register`; the CLI and tests enumerate them via
+:func:`all_rules` so adding a rule is a one-file change in
+:mod:`repro.analysis.rules`.
+"""
+
+import ast
+
+from repro.analysis.reporter import Finding
+
+_RULES = {}
+
+
+def register(cls):
+    """Class decorator: add a rule to the registry (keyed by its code)."""
+    if not getattr(cls, "code", None):
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls
+    return cls
+
+
+def all_rules():
+    """Every registered rule class, sorted by code."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def get_rule(code):
+    """Look one rule up by its DET00x code."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return _RULES[code]
+
+
+class LintRule(ast.NodeVisitor):
+    """Base class for one determinism rule applied to one file.
+
+    Subclasses set ``code`` (e.g. ``"DET001"``) and ``summary`` (one line,
+    shown by ``lint --list-rules``) and call :meth:`report` from their
+    ``visit_*`` methods.  ``EXEMPT_SUFFIXES`` names path suffixes (always
+    ``/``-separated) the rule does not apply to -- e.g. ``repro.sim.rng``
+    is allowed to import :mod:`random` because it *is* the entropy source.
+    """
+
+    code = None
+    summary = None
+    EXEMPT_SUFFIXES = ()
+
+    def __init__(self, path):
+        self.path = str(path).replace("\\", "/")
+        self.findings = []
+
+    @classmethod
+    def exempt(cls, path):
+        normalized = str(path).replace("\\", "/")
+        return any(normalized.endswith(suffix) for suffix in cls.EXEMPT_SUFFIXES)
+
+    def report(self, node, message):
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, self.code, message)
+        )
+
+    def run(self, tree):
+        """Visit ``tree`` and return this rule's findings for the file."""
+        self.visit(tree)
+        return self.findings

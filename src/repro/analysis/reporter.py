@@ -1,0 +1,169 @@
+"""Finding collection, suppression handling and report rendering.
+
+Suppression syntax (the reason is mandatory -- a bare suppression is itself
+reported as LNT000):
+
+* trailing comment -- suppresses matching findings on that line only::
+
+      import time  # lint: disable=DET001(host-side timing, not sim state)
+
+* own-line comment -- a per-file baseline: suppresses the code everywhere
+  in the file::
+
+      # lint: disable=DET002(iteration order pinned by sorted fixture keys)
+
+Several codes may share one comment, separated by commas:
+``# lint: disable=DET001(reason),DET004(reason)``.
+"""
+
+import io
+import os
+import re
+import tokenize
+
+_SUPPRESS_PREFIX = re.compile(r"#\s*lint:\s*disable=(.*)$")
+_SUPPRESS_ITEM = re.compile(r"([A-Z]{3}\d{3})\s*(?:\(([^()]*)\))?")
+
+
+class Finding:
+    """One linter hit: where, which rule, and why."""
+
+    __slots__ = ("path", "line", "col", "code", "message")
+
+    def __init__(self, path, line, col, code, message):
+        self.path = path
+        self.line = line
+        self.col = col
+        self.code = code
+        self.message = message
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self):
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+
+    def __repr__(self):
+        return f"<Finding {self.code} {self.path}:{self.line}>"
+
+
+class Suppressions:
+    """Parsed ``# lint: disable=`` comments for one file."""
+
+    def __init__(self):
+        self.file_level = {}   # code -> reason
+        self.line_level = {}   # line -> {code: reason}
+        self.malformed = []    # Finding (LNT000): suppression without reason
+
+    def covers(self, finding):
+        if finding.code in self.file_level:
+            return True
+        return finding.code in self.line_level.get(finding.line, {})
+
+    @classmethod
+    def parse(cls, source, path):
+        suppressions = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return suppressions
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_PREFIX.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            own_line = token.line[: token.start[1]].strip() == ""
+            for code, reason in _SUPPRESS_ITEM.findall(match.group(1)):
+                if not (reason or "").strip():
+                    suppressions.malformed.append(
+                        Finding(
+                            path, line, token.start[1], "LNT000",
+                            f"suppression of {code} must carry a reason: "
+                            f"# lint: disable={code}(why)",
+                        )
+                    )
+                    continue
+                if own_line:
+                    suppressions.file_level[code] = reason.strip()
+                else:
+                    suppressions.line_level.setdefault(line, {})[code] = reason.strip()
+        return suppressions
+
+
+class LintReport:
+    """Findings across a lint run, with deterministic rendering."""
+
+    def __init__(self, findings, files_checked):
+        self.findings = sorted(findings, key=Finding.sort_key)
+        self.files_checked = files_checked
+
+    @property
+    def clean(self):
+        return not self.findings
+
+    def render(self):
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+        )
+        return "\n".join(lines)
+
+
+def lint_source(source, path="<string>", rules=None):
+    """Lint one source string; returns the list of live findings.
+
+    Parse failures surface as a single LNT001 finding rather than an
+    exception, so one broken file cannot hide the rest of the tree.
+    """
+    import ast
+
+    from repro.analysis.registry import all_rules
+
+    rule_classes = rules if rules is not None else all_rules()
+    suppressions = Suppressions.parse(source, path)
+    findings = list(suppressions.malformed)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        findings.append(
+            Finding(path, error.lineno or 1, (error.offset or 1) - 1, "LNT001",
+                    f"file does not parse: {error.msg}")
+        )
+        return findings
+    for rule_class in rule_classes:
+        if rule_class.exempt(path):
+            continue
+        for finding in rule_class(path).run(tree):
+            if not suppressions.covers(finding):
+                findings.append(finding)
+    return findings
+
+
+def iter_python_files(paths):
+    """Yield every ``.py`` file under ``paths``, sorted for determinism."""
+    files = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            files.extend(
+                os.path.join(dirpath, name)
+                for name in sorted(filenames)
+                if name.endswith(".py")
+            )
+    return sorted(files)
+
+
+def lint_paths(paths, rules=None):
+    """Lint every Python file under ``paths``; returns a :class:`LintReport`."""
+    findings = []
+    files = iter_python_files(paths)
+    for file_path in files:
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, path=file_path, rules=rules))
+    return LintReport(findings, files_checked=len(files))

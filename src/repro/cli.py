@@ -7,7 +7,13 @@ Commands:
 * ``experiment`` -- run one named experiment (or ``all``) and print its
   table; names match :func:`repro.experiments.runner.all_experiments`.
 * ``faults`` -- run a named fault-injection scenario (or ``all``) from
-  :mod:`repro.faults.scenarios` and print its recovery report.
+  :mod:`repro.faults.scenarios` and print its recovery report.  With
+  ``REPRO_SANITIZE=1`` in the environment the run is sanitized (summary on
+  stderr; stdout stays byte-identical to an unsanitized run).
+* ``lint`` -- run the determinism linter (:mod:`repro.analysis`) over
+  source trees; exits 1 on findings.
+* ``sanitize`` -- run fault scenario(s) with the runtime sanitizer's
+  invariant checks enabled; exits 1 on a violation.
 * ``inventory`` -- list the available experiments and gateway services.
 """
 
@@ -66,6 +72,30 @@ def build_parser():
     )
     faults.add_argument("--seed", type=int, default=42)
     faults.add_argument(
+        "--quick", action="store_true", help="scaled-down timings"
+    )
+
+    lint = commands.add_parser(
+        "lint", help="run the determinism linter (DET001..DET004)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table"
+    )
+
+    sanitize = commands.add_parser(
+        "sanitize", help="run fault scenario(s) with runtime invariant checks"
+    )
+    sanitize.add_argument(
+        "scenario",
+        choices=FAULT_SCENARIOS + ("all",),
+        help="named scenario (or 'all')",
+    )
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.add_argument(
         "--quick", action="store_true", help="scaled-down timings"
     )
 
@@ -137,6 +167,7 @@ def cmd_experiment(args):
 
 
 def cmd_faults(args):
+    from repro.analysis.sanitizer import get_sanitizer
     from repro.faults.scenarios import run_scenario
 
     names = FAULT_SCENARIOS if args.scenario == "all" else (args.scenario,)
@@ -145,6 +176,45 @@ def cmd_faults(args):
             print()
         report = run_scenario(name, seed=args.seed, quick=args.quick)
         print(report.render())
+    sanitizer = get_sanitizer()
+    if sanitizer is not None:
+        # Summary on stderr: stdout must stay byte-identical to an
+        # unsanitized run (CI diffs the two).
+        print(sanitizer.summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_lint(args):
+    from repro.analysis import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}: {rule.summary}")
+        return 0
+    report = lint_paths(args.paths)
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def cmd_sanitize(args):
+    from repro.analysis.sanitizer import SanitizerViolation, install, uninstall
+    from repro.faults.scenarios import run_scenario
+
+    names = FAULT_SCENARIOS if args.scenario == "all" else (args.scenario,)
+    sanitizer = install()
+    try:
+        for index, name in enumerate(names):
+            if index:
+                print()
+            report = run_scenario(name, seed=args.seed, quick=args.quick)
+            print(report.render())
+    except SanitizerViolation as violation:
+        print(f"sanitizer violation in scenario run:\n{violation}")
+        return 1
+    finally:
+        uninstall()
+    print()
+    print(sanitizer.summary())
     return 0
 
 
@@ -168,6 +238,8 @@ def main(argv=None):
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
         "faults": cmd_faults,
+        "lint": cmd_lint,
+        "sanitize": cmd_sanitize,
         "inventory": cmd_inventory,
     }
     return handlers[args.command](args)

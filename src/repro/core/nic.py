@@ -11,6 +11,7 @@ Per-module latencies come from Tab. 4 via
 :class:`~repro.core.resources.NicLatencyModel`.
 """
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.core.meta import MetaPlacement, placement_throughput_factor
 from repro.core.pktdir import DeliveryPath, PktDir
 from repro.core.plb.dispatch import PlbDispatcher
@@ -98,11 +99,34 @@ class NicPipeline:
         self.cpu_throughput_factor = placement_throughput_factor(config.meta_placement)
         self._fpga_stalled = False
         self._heartbeat = 0
+        # Sanitizer ledger: every packet entering ingress() must settle at
+        # most once (transmitted, dropped, or handed to the priority path).
+        self._sanitizer = get_sanitizer()
+        self._san_injected = 0
+        self._san_settled = 0
         self._rx_latency_ns = self.latency.rx_ns()
         self._tx_dma_ns = self.latency.module_ns("dma", "tx")
         self._tx_post_reorder_ns = self.latency.module_ns(
             "plb", "tx"
         ) + self.latency.module_ns("basic_pipeline", "tx")
+
+    # ------------------------------------------------------------------
+    # Sanitizer ledger
+    # ------------------------------------------------------------------
+
+    def _san_settle(self, packet, stage):
+        """One packet reached a terminal stage; the ledger must balance."""
+        self._san_settled += 1
+        self._sanitizer.ensure(
+            self._san_settled <= self._san_injected, "packet-conservation",
+            f"settled {self._san_settled} packets but only "
+            f"{self._san_injected} entered ingress (stage {stage!r})",
+            uid=packet.uid, stage=stage,
+        )
+
+    def sanitizer_in_flight(self):
+        """Packets injected but not yet settled (>= 0 while conserving)."""
+        return self._san_injected - self._san_settled
 
     # ------------------------------------------------------------------
     # Ingress
@@ -112,11 +136,15 @@ class NicPipeline:
         """A packet arrives from the wire at the current sim time."""
         packet.arrival_ns = self.sim.now
         self.counters.incr("rx_packets")
+        if self._sanitizer is not None:
+            self._san_injected += 1
         if self._fpga_stalled:
             # A stalled pipeline makes no forward progress; the wire keeps
             # delivering and the packets are simply lost.
             packet.drop_reason = "fpga_stall"
             self.counters.incr("fpga_stall_drops")
+            if self._sanitizer is not None:
+                self._san_settle(packet, "fpga_stall_drop")
             return
         path, header_only = self.pkt_dir.classify(packet)
 
@@ -124,6 +152,8 @@ class NicPipeline:
             # Priority path skips the rate limiter and PLB entirely.
             self.sim.schedule(self._rx_latency_ns, self.priority.enqueue, packet)
             self.counters.incr("rx_priority")
+            if self._sanitizer is not None:
+                self._san_settle(packet, "priority_handoff")
             return
 
         if self.rate_limiter is not None:
@@ -131,6 +161,8 @@ class NicPipeline:
             if not decision.allowed:
                 packet.drop_reason = f"rate_limit_{decision.value}"
                 self.counters.incr("rate_limited_drops")
+                if self._sanitizer is not None:
+                    self._san_settle(packet, "rate_limited_drop")
                 return
 
         if self.session_offload is not None and self.session_offload.lookup(
@@ -151,6 +183,8 @@ class NicPipeline:
             )
             if core is None:
                 self.counters.incr("reorder_fifo_drops")
+                if self._sanitizer is not None:
+                    self._san_settle(packet, "ingress_drop")
                 return
         else:
             core = self.rss.dispatch(packet)
@@ -166,6 +200,8 @@ class NicPipeline:
             # this leaves a hole in the reorder FIFO -> HOL until timeout.
             packet.drop_reason = "rx_queue_overflow"
             self.counters.incr("rx_queue_drops")
+            if self._sanitizer is not None:
+                self._san_settle(packet, "rx_queue_overflow")
 
     # ------------------------------------------------------------------
     # Egress
@@ -175,9 +211,15 @@ class NicPipeline:
         """Wired as every data core's completion callback."""
         if verdict is Verdict.DROP_SILENT:
             self.counters.incr("cpu_silent_drops")
+            if self._sanitizer is not None:
+                self._san_settle(packet, "cpu_silent_drop")
             return
         if verdict is Verdict.DROP_ACL:
             self.counters.incr("cpu_acl_drops")
+            if self._sanitizer is not None:
+                # Terminal here: the later drop-flag release only reclaims
+                # reorder resources, it must not settle the packet again.
+                self._san_settle(packet, "cpu_acl_drop")
             if packet.meta is not None and self.config.drop_flag_enabled:
                 # Active drop flag: notify the NIC so reorder resources are
                 # released without waiting for the 100 us timeout.
@@ -202,10 +244,30 @@ class NicPipeline:
     def _on_reorder_transmit(self, packet, outcome):
         if outcome in (TxOutcome.RELEASED_DROP_FLAG, TxOutcome.DROPPED_PAYLOAD_GONE):
             self.counters.incr(f"reorder_{outcome.value}")
+            if (
+                self._sanitizer is not None
+                and outcome is TxOutcome.DROPPED_PAYLOAD_GONE
+            ):
+                # Drop-flag releases settled at the CPU ACL drop; a
+                # payload-gone drop is this packet's first terminal stage.
+                self._san_settle(packet, "payload_gone_drop")
             return
         self.sim.schedule(self._tx_post_reorder_ns, self._transmit, packet, outcome)
 
     def _transmit(self, packet, outcome):
+        if self._sanitizer is not None:
+            self._sanitizer.ensure(
+                packet.departure_ns is None, "packet-conservation",
+                f"packet transmitted twice (first at t={packet.departure_ns})",
+                uid=packet.uid, outcome=str(outcome),
+            )
+            self._sanitizer.ensure(
+                packet.drop_reason is None, "packet-conservation",
+                f"dropped packet leaked to the wire "
+                f"(drop_reason={packet.drop_reason!r})",
+                uid=packet.uid, outcome=str(outcome),
+            )
+            self._san_settle(packet, "tx")
         packet.departure_ns = self.sim.now
         self.counters.incr("tx_packets")
         self.egress_fn(packet, outcome)

@@ -34,6 +34,7 @@ and exact: the head is re-examined whenever (a) a packet writes back,
 
 import enum
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.sim.units import US
 
 
@@ -151,6 +152,11 @@ class ReorderEngine:
         self.stats = ReorderStats()
         self.epoch = 0
         self._queues = [_ReorderQueue(config.depth) for _ in range(config.queue_count)]
+        # Sanitizer bookkeeping: the PSN of each queue's last in-order
+        # release.  Flows hash onto one order queue, so strictly
+        # increasing PSNs per queue imply per-flow order on the wire.
+        self._sanitizer = get_sanitizer()
+        self._san_last_release = [None] * config.queue_count
 
     @property
     def queue_count(self):
@@ -177,6 +183,13 @@ class ReorderEngine:
         queue.tail_ptr += 1
         queue.fifo.append(ReorderInfo(psn, now_ns))
         self.stats.admitted += 1
+        if self._sanitizer is not None:
+            self._sanitizer.ensure(
+                len(queue.fifo) <= self.config.depth, "finite-queue-bound",
+                f"reorder FIFO {ordq} holds {len(queue.fifo)} entries, "
+                f"depth is {self.config.depth}",
+                ordq=ordq, occupancy=len(queue.fifo), depth=self.config.depth,
+            )
         if len(queue.fifo) == 1:
             self._arm_timeout(ordq, queue)
         return psn
@@ -250,6 +263,8 @@ class ReorderEngine:
             queue.bitmap_psn = [0] * 4096
             queue.head_ptr = 0
             queue.tail_ptr = 0
+        # PSN generators rewound with the epoch: release tracking restarts.
+        self._san_last_release = [None] * self.config.queue_count
         self.epoch += 1
         self.stats.resets += 1
         self.stats.reset_inflight_drops += dropped
@@ -305,6 +320,8 @@ class ReorderEngine:
             queue.fifo.popleft()
             queue.head_ptr = head.psn + 1
             self._clear_slot(queue, slot)
+            if self._sanitizer is not None:
+                self._note_in_order_release(ordq, head.psn)
             if packet.meta is not None and packet.meta.drop:
                 self.stats.drop_flag_releases += 1
                 self.transmit_fn(packet, TxOutcome.RELEASED_DROP_FLAG)
@@ -312,6 +329,16 @@ class ReorderEngine:
                 self.stats.in_order += 1
                 self.transmit_fn(packet, TxOutcome.IN_ORDER)
         self._arm_timeout(ordq, queue)
+
+    def _note_in_order_release(self, ordq, psn):
+        """Sanitizer: in-order releases must carry strictly increasing PSNs."""
+        last = self._san_last_release[ordq]
+        self._sanitizer.ensure(
+            last is None or psn > last, "reorder-release-order",
+            f"order queue {ordq} released PSN {psn} in order after PSN {last}",
+            ordq=ordq, psn=psn, last_psn=last, epoch=self.epoch,
+        )
+        self._san_last_release[ordq] = psn
 
     def _clear_slot(self, queue, slot):
         queue.buf[slot] = None

@@ -22,6 +22,7 @@ pre_check to bypass rate limiting entirely.
 
 import enum
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.packet.hashing import crc32_vni_hash
 from repro.sim.units import SECOND
 
@@ -166,6 +167,7 @@ class TwoStageRateLimiter:
         self.decisions = {decision: 0 for decision in RateLimitDecision}
         self.promotions = 0
         self.sram_resets = 0
+        self._sanitizer = get_sanitizer()
 
     # -- configuration -------------------------------------------------
 
@@ -220,7 +222,32 @@ class TwoStageRateLimiter:
         """Run one packet of tenant ``vni`` through the limiter."""
         decision = self._admit(vni, now_ns)
         self.decisions[decision] += 1
+        if self._sanitizer is not None:
+            self._check_sram_budget()
         return decision
+
+    def _check_sram_budget(self):
+        """Lazily materialized buckets must fit the provisioned tables."""
+        sanitizer = self._sanitizer
+        sanitizer.ensure(
+            len(self._color) <= self.color_entries, "sram-budget",
+            f"color table holds {len(self._color)} buckets, "
+            f"provisioned for {self.color_entries}",
+            live=len(self._color), entries=self.color_entries,
+        )
+        sanitizer.ensure(
+            len(self._meter) <= self.meter_entries, "sram-budget",
+            f"meter table holds {len(self._meter)} buckets, "
+            f"provisioned for {self.meter_entries}",
+            live=len(self._meter), entries=self.meter_entries,
+        )
+        pre_live = len(self._bypass) + len(self._pre_meter)
+        sanitizer.ensure(
+            pre_live <= self.pre_entries, "sram-budget",
+            f"pre_check/pre_meter hold {pre_live} entries, "
+            f"provisioned for {self.pre_entries}",
+            live=pre_live, entries=self.pre_entries,
+        )
 
     def _admit(self, vni, now_ns):
         # pre_check stage: bypass and known heavy hitters.

@@ -10,6 +10,8 @@ flag turns into an immediate reorder-resource release).
 
 import enum
 
+from repro.analysis.sanitizer import get_sanitizer
+
 
 class Verdict(enum.Enum):
     """Outcome of CPU processing for one packet."""
@@ -78,6 +80,7 @@ class CpuCore:
         self.speed_factor = speed_factor
         self.rx_queue = PacketQueue(rx_capacity, name=f"core{core_id}-rx")
         self.stats = CoreStats()
+        self._sanitizer = get_sanitizer()
         self._busy = False
         self._pending_stall_ns = 0
         self._failed = False
@@ -105,6 +108,15 @@ class CpuCore:
         blocking (§4.1).
         """
         accepted = self.rx_queue.push(packet)
+        if self._sanitizer is not None:
+            self._sanitizer.ensure(
+                len(self.rx_queue) <= self.rx_queue.capacity,
+                "finite-queue-bound",
+                f"core {self.core_id} RX queue holds {len(self.rx_queue)} "
+                f"packets, ring size is {self.rx_queue.capacity}",
+                core=self.core_id, occupancy=len(self.rx_queue),
+                capacity=self.rx_queue.capacity,
+            )
         if accepted and not self._busy:
             self._start_next()
         return accepted
@@ -157,6 +169,13 @@ class CpuCore:
         if self._pending_stall_ns:
             service_ns += self._pending_stall_ns
             self._pending_stall_ns = 0
+        if self._sanitizer is not None:
+            self._sanitizer.ensure(
+                service_ns >= 0, "event-causality",
+                f"core {self.core_id} computed a negative service time "
+                f"({service_ns} ns); jitter must not outrun the base cost",
+                core=self.core_id, service_ns=service_ns,
+            )
         self.stats.busy_ns += service_ns
         self.sim.schedule(service_ns, self._finish, packet)
 

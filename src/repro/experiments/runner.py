@@ -6,7 +6,7 @@ experiment is independent; pass ``--quick`` for shorter runs.
 
 import argparse
 import sys
-import time
+import time  # lint: disable=DET001(host-side wall-clock timing of experiment runs, not sim state)
 
 
 def all_experiments(quick=False):
@@ -78,10 +78,10 @@ def main(argv=None):
     for name, fn in all_experiments(quick=args.quick):
         if args.only and name != args.only:
             continue
-        started = time.time()
+        started = time.perf_counter()
         result = fn()
         result.print_table()
-        print(f"  [{name} took {time.time() - started:.1f}s]")
+        print(f"  [{name} took {time.perf_counter() - started:.1f}s]")
     return 0
 
 

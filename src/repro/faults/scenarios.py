@@ -211,7 +211,9 @@ def core_stall_plb_vs_rss(seed=42, quick=False):
 
     population = uniform_population(128, tenants=8)
     injectors, trackers, marks = {}, {}, {}
-    for mode, pod in pods.items():
+    # sorted: this loop schedules capture events, so iteration order is
+    # event order ("plb" < "rss" matches the literal above).
+    for mode, pod in sorted(pods.items()):
         trackers[mode] = SteadyStateTracker(
             sim, pod.transmitted, window_ns=window_ns
         )

@@ -7,7 +7,8 @@ the cap keeps percentiles approximately exact without unbounded memory).
 """
 
 import math
-import random
+
+from repro.sim.rng import derived_stream
 
 
 class LatencyHistogram:
@@ -31,7 +32,7 @@ class LatencyHistogram:
         self._sum = 0
         self._min = None
         self._max = None
-        self._rng = random.Random(seed)
+        self._rng = derived_stream("metrics.histogram.reservoir", seed=seed)
 
     def record(self, latency_ns):
         if latency_ns < 0:

@@ -15,6 +15,12 @@ Determinism guarantees:
 
 import heapq
 
+from repro.analysis.sanitizer import get_sanitizer
+
+
+def _event_label(fn):
+    return getattr(fn, "__qualname__", repr(fn))
+
 
 class SimulationError(Exception):
     """Raised for invalid simulator operations (e.g. scheduling in the past)."""
@@ -71,6 +77,7 @@ class Simulator:
         self._live_events = 0
         self._running = False
         self._stopped = False
+        self._sanitizer = get_sanitizer()
 
     @property
     def now(self):
@@ -100,12 +107,24 @@ class Simulator:
         completes but at the same timestamp.
         """
         if delay < 0:
+            if self._sanitizer is not None:
+                self._sanitizer.violation(
+                    "event-causality",
+                    f"cannot schedule in the past (delay={delay})",
+                    delay_ns=delay, now_ns=self._now, callback=_event_label(fn),
+                )
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self.schedule_at(self._now + int(delay), fn, *args)
 
     def schedule_at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at an absolute timestamp."""
         if time < self._now:
+            if self._sanitizer is not None:
+                self._sanitizer.violation(
+                    "event-causality",
+                    f"cannot schedule at t={time} before now={self._now}",
+                    time_ns=time, now_ns=self._now, callback=_event_label(fn),
+                )
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
@@ -127,6 +146,13 @@ class Simulator:
                 continue
             self._live_events -= 1
             event._sim = None  # a late cancel() must not decrement again
+            if self._sanitizer is not None:
+                self._sanitizer.ensure(
+                    time >= self._now, "simtime-monotonicity",
+                    f"event at t={time} popped behind now={self._now}",
+                    time_ns=time, now_ns=self._now, callback=_event_label(event.fn),
+                )
+                self._sanitizer.record_event(time, _event_label(event.fn))
             self._now = time
             self._events_processed += 1
             event.fn(*event.args)
@@ -172,6 +198,14 @@ class Simulator:
                     continue
                 self._live_events -= 1
                 event._sim = None  # a late cancel() must not decrement again
+                if self._sanitizer is not None:
+                    self._sanitizer.ensure(
+                        time >= self._now, "simtime-monotonicity",
+                        f"event at t={time} popped behind now={self._now}",
+                        time_ns=time, now_ns=self._now,
+                        callback=_event_label(event.fn),
+                    )
+                    self._sanitizer.record_event(time, _event_label(event.fn))
                 self._now = time
                 self._events_processed += 1
                 event.fn(*event.args)

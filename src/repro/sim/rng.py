@@ -10,6 +10,19 @@ import random
 import zlib
 
 
+def derived_stream(name, seed=0):
+    """A standalone ``random.Random`` derived from ``(seed, name)``.
+
+    Same derivation as :meth:`RngRegistry.stream`, for components that are
+    constructed outside an experiment's registry (session-table cuckoo
+    kicks, histogram reservoirs) but must still draw every bit of entropy
+    from a named, process-stable seed.
+    """
+    # zlib.crc32 is stable across processes (unlike hash()).
+    derived = (seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+    return random.Random(derived)
+
+
 class RngRegistry:
     """Factory for independent, deterministically seeded RNG streams.
 
@@ -28,9 +41,7 @@ class RngRegistry:
         """Return the ``random.Random`` for ``name``, creating it on first use."""
         rng = self._streams.get(name)
         if rng is None:
-            # zlib.crc32 is stable across processes (unlike hash()).
-            derived = (self.seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
-            rng = random.Random(derived)
+            rng = derived_stream(name, seed=self.seed)
             self._streams[name] = rng
         return rng
 

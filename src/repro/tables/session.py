@@ -9,6 +9,7 @@ factors high at bounded bucket depth.
 """
 
 from repro.packet.hashing import crc32_flow_hash
+from repro.sim.rng import derived_stream
 
 
 class SessionTableFull(Exception):
@@ -43,9 +44,8 @@ class SessionTable:
     up to ``max_kicks`` times.
     """
 
-    def __init__(self, buckets=4096, bucket_depth=4, max_kicks=32, entry_bytes=128):
-        import random
-
+    def __init__(self, buckets=4096, bucket_depth=4, max_kicks=32, entry_bytes=128,
+                 seed=0xC0C0):
         self.buckets = buckets
         self.bucket_depth = bucket_depth
         self.max_kicks = max_kicks
@@ -54,7 +54,7 @@ class SessionTable:
         self._size = 0
         # Random-walk eviction needs a (deterministic) victim picker; a
         # fixed victim choice ping-pongs between two full buckets.
-        self._kick_rng = random.Random(0xC0C0)
+        self._kick_rng = derived_stream("tables.session.kick", seed=seed)
 
     def __len__(self):
         return self._size

@@ -1,0 +1,261 @@
+"""Determinism-linter tests: each DET rule fires exactly where expected."""
+
+import os
+import textwrap
+
+import repro
+from repro.analysis import all_rules, get_rule, lint_paths, lint_source
+from repro.cli import main
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def lint(source, path="repro/example.py"):
+    findings = lint_source(textwrap.dedent(source), path=path)
+    return [(finding.code, finding.line) for finding in findings]
+
+
+def codes(source, path="repro/example.py"):
+    return [code for code, _line in lint(source, path=path)]
+
+
+class TestDet001Entropy:
+    def test_import_random_fires(self):
+        assert codes("import random\n") == ["DET001"]
+
+    def test_import_time_fires(self):
+        assert codes("import time\n") == ["DET001"]
+
+    def test_from_imports_fire(self):
+        source = """\
+        from random import Random
+        from time import perf_counter
+        """
+        assert codes(source) == ["DET001", "DET001"]
+
+    def test_os_urandom_fires(self):
+        source = """\
+        import os
+
+        def token():
+            return os.urandom(8)
+        """
+        assert codes(source) == ["DET001"]
+
+    def test_rng_registry_is_clean(self):
+        source = """\
+        from repro.sim.rng import RngRegistry, derived_stream
+
+        rng = derived_stream("kick", seed=3)
+        """
+        assert codes(source) == []
+
+    def test_sim_rng_module_is_exempt(self):
+        assert codes("import random\n", path="src/repro/sim/rng.py") == []
+
+    def test_dotted_import_fires(self):
+        assert codes("import time.monotonic\n") == ["DET001"]
+
+
+class TestDet002UnorderedIteration:
+    def test_set_literal_feeding_schedule_fires(self):
+        source = """\
+        def arm(sim):
+            for delay in {10, 20}:
+                sim.schedule(delay, print)
+        """
+        assert codes(source) == ["DET002"]
+
+    def test_dict_values_feeding_dispatch_fires(self):
+        source = """\
+        def spray(plb, packets):
+            for packet in packets.values():
+                plb.dispatch(packet)
+        """
+        assert codes(source) == ["DET002"]
+
+    def test_set_call_feeding_schedule_at_fires(self):
+        source = """\
+        def arm(sim, times):
+            for t in set(times):
+                sim.schedule_at(t, print)
+        """
+        assert codes(source) == ["DET002"]
+
+    def test_comprehension_over_set_fires(self):
+        source = """\
+        def arm(sim, delays):
+            return [sim.every(d, print) for d in frozenset(delays)]
+        """
+        assert codes(source) == ["DET002"]
+
+    def test_sorted_wrapper_is_clean(self):
+        source = """\
+        def arm(sim, tasks):
+            for name, delay in sorted(tasks.items()):
+                sim.schedule(delay, print, name)
+        """
+        assert codes(source) == []
+
+    def test_iteration_without_scheduling_is_clean(self):
+        source = """\
+        def total(counters):
+            return sum(value for value in counters.values())
+        """
+        assert codes(source) == []
+
+    def test_list_iteration_is_clean(self):
+        source = """\
+        def arm(sim, delays):
+            for delay in delays:
+                sim.schedule(delay, print)
+        """
+        assert codes(source) == []
+
+
+class TestDet003FloatSimtimeEquality:
+    def test_float_literal_equality_fires(self):
+        source = """\
+        def check(sim):
+            return sim.now == 1.5
+        """
+        assert codes(source) == ["DET003"]
+
+    def test_division_equality_fires(self):
+        source = """\
+        def check(deadline_ns, total):
+            return deadline_ns == total / 2
+        """
+        assert codes(source) == ["DET003"]
+
+    def test_not_equals_fires(self):
+        source = """\
+        def check(start_ns):
+            return start_ns != float(10)
+        """
+        assert codes(source) == ["DET003"]
+
+    def test_integer_equality_is_clean(self):
+        source = """\
+        def check(sim, deadline_ns):
+            return sim.now == deadline_ns and deadline_ns == 0
+        """
+        assert codes(source) == []
+
+    def test_ordering_comparison_is_clean(self):
+        source = """\
+        def check(sim, budget):
+            return sim.now >= budget / 2
+        """
+        assert codes(source) == []
+
+    def test_non_time_float_equality_is_clean(self):
+        source = """\
+        def check(ratio):
+            return ratio == 0.5
+        """
+        assert codes(source) == []
+
+
+class TestDet004HandRolledHeaps:
+    def test_import_heapq_fires(self):
+        assert codes("import heapq\n") == ["DET004"]
+
+    def test_from_heapq_fires(self):
+        assert codes("from heapq import heappush\n") == ["DET004"]
+
+    def test_sched_fires(self):
+        assert codes("import sched\n") == ["DET004"]
+
+    def test_priority_queue_fires(self):
+        assert codes("from queue import PriorityQueue\n") == ["DET004"]
+
+    def test_plain_queue_import_is_clean(self):
+        assert codes("from queue import Queue\n") == []
+
+    def test_engine_is_exempt(self):
+        assert codes("import heapq\n", path="src/repro/sim/engine.py") == []
+
+
+class TestSuppressions:
+    def test_trailing_suppression_with_reason(self):
+        source = "import time  # lint: disable=DET001(host-side timing only)\n"
+        assert codes(source) == []
+
+    def test_trailing_suppression_only_covers_its_line(self):
+        source = """\
+        import time  # lint: disable=DET001(host-side timing only)
+        import random
+        """
+        assert lint(source) == [("DET001", 2)]
+
+    def test_file_level_baseline_suppresses_everywhere(self):
+        source = """\
+        # lint: disable=DET001(fixture exercises the entropy rule)
+        import time
+        import random
+        """
+        assert codes(source) == []
+
+    def test_suppression_without_reason_is_reported(self):
+        source = "import time  # lint: disable=DET001\n"
+        assert sorted(codes(source)) == ["DET001", "LNT000"]
+
+    def test_empty_reason_is_reported(self):
+        source = "import time  # lint: disable=DET001()\n"
+        assert sorted(codes(source)) == ["DET001", "LNT000"]
+
+    def test_multiple_codes_in_one_comment(self):
+        source = (
+            "import time  "
+            "# lint: disable=DET001(timing),DET004(not actually a heap)\n"
+        )
+        assert codes(source) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import heapq  # lint: disable=DET001(wrong rule)\n"
+        assert codes(source) == ["DET004"]
+
+
+class TestReporting:
+    def test_syntax_error_reported_not_raised(self):
+        assert codes("def broken(:\n") == ["LNT001"]
+
+    def test_findings_carry_position(self):
+        findings = lint_source("import random\n", path="repro/x.py")
+        finding = findings[0]
+        assert (finding.path, finding.line, finding.code) == (
+            "repro/x.py", 1, "DET001"
+        )
+        assert "repro/x.py:1:1: DET001" in finding.render()
+
+    def test_rule_registry_complete(self):
+        rules = all_rules()
+        assert [rule.code for rule in rules] == [
+            "DET001", "DET002", "DET003", "DET004"
+        ]
+        assert all(rule.summary for rule in rules)
+        assert get_rule("DET001") is rules[0]
+
+
+class TestShippedTree:
+    def test_lint_src_exits_clean(self):
+        report = lint_paths([SRC_DIR])
+        assert report.clean, "\n" + report.render()
+        assert report.files_checked > 90
+
+    def test_cli_lint_exit_code(self, capsys):
+        assert main(["lint", SRC_DIR]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_lint_nonzero_on_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "DET003", "DET004"):
+            assert code in out

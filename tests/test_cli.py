@@ -25,6 +25,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert not args.list_rules
+
+    def test_lint_explicit_paths(self):
+        args = build_parser().parse_args(["lint", "a.py", "b.py"])
+        assert args.paths == ["a.py", "b.py"]
+
+    def test_sanitize_options(self):
+        args = build_parser().parse_args(
+            ["sanitize", "chaos", "--quick", "--seed", "7"]
+        )
+        assert (args.scenario, args.quick, args.seed) == ("chaos", True, 7)
+
+    def test_sanitize_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sanitize", "nope"])
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -55,3 +74,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig8" in out
         assert "VPC-Internet" in out
+
+    def test_sanitize_scenario_runs_clean(self, capsys):
+        from repro.analysis.sanitizer import get_sanitizer
+
+        code = main(["sanitize", "limiter-reset", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario: limiter-reset" in out
+        assert "0 violations" in out
+        # cmd_sanitize must uninstall on the way out.
+        assert get_sanitizer() is None
+
+    def test_faults_without_sanitizer_prints_no_summary(self, capsys):
+        code = main(["faults", "limiter-reset", "--quick"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "scenario: limiter-reset" in captured.out
+        assert "sanitizer:" not in captured.err
