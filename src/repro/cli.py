@@ -10,6 +10,11 @@ Commands:
   :mod:`repro.faults.scenarios` and print its recovery report.  With
   ``REPRO_SANITIZE=1`` in the environment the run is sanitized (summary on
   stderr; stdout stays byte-identical to an unsanitized run).
+* ``bench`` -- run the canonical performance scenarios
+  (:mod:`repro.perf`), print per-scenario throughput, and write
+  ``BENCH_repro.json``.  With ``--baseline`` it exits 1 when any scenario
+  regresses more than ``--max-regress`` (default 10%), 2 when the
+  baseline file is missing.
 * ``lint`` -- run the determinism linter (:mod:`repro.analysis`) over
   source trees; exits 1 on findings.
 * ``sanitize`` -- run fault scenario(s) with the runtime sanitizer's
@@ -73,6 +78,29 @@ def build_parser():
     faults.add_argument("--seed", type=int, default=42)
     faults.add_argument(
         "--quick", action="store_true", help="scaled-down timings"
+    )
+
+    bench = commands.add_parser(
+        "bench", help="benchmark the simulator hot path"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="shorter scenario durations"
+    )
+    bench.add_argument(
+        "--output", default="BENCH_repro.json",
+        help="report path (default: BENCH_repro.json)",
+    )
+    bench.add_argument(
+        "--baseline", default=None,
+        help="prior BENCH_*.json to compare against",
+    )
+    bench.add_argument(
+        "--max-regress", default="10%",
+        help="allowed throughput drop vs the baseline (e.g. 10%%, 0.1)",
+    )
+    bench.add_argument(
+        "--scenario", action="append", dest="scenarios", metavar="NAME",
+        help="run only this scenario (repeatable)",
     )
 
     lint = commands.add_parser(
@@ -184,6 +212,61 @@ def cmd_faults(args):
     return 0
 
 
+def cmd_bench(args):
+    import json
+    import os
+
+    from repro.perf import (
+        compare_to_baseline, parse_max_regress, run_bench, write_report,
+    )
+
+    try:
+        budget = parse_max_regress(args.max_regress)
+    except ValueError as error:
+        print(f"bad --max-regress: {error}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        # Fail before spending minutes benchmarking against nothing.
+        if not os.path.exists(args.baseline):
+            print(f"baseline file not found: {args.baseline}", file=sys.stderr)
+            return 2
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+
+    try:
+        report = run_bench(quick=args.quick, names=args.scenarios)
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    write_report(report, args.output)
+
+    mode = "quick" if args.quick else "full"
+    print(f"bench ({mode} mode) -> {args.output}")
+    for name, entry in report["scenarios"].items():
+        if entry["events_per_sec"] is not None:
+            rate_text = f", {entry['events_per_sec']:,.0f} events/s"
+        elif entry["wall_pps"] is not None:
+            rate_text = f", {entry['wall_pps']:,.0f} pkts/s (wall)"
+        else:
+            rate_text = ""
+        print(f"  {name}: {entry['wall_s']:.3f} s wall{rate_text}")
+
+    if baseline is not None:
+        regressions = compare_to_baseline(report, baseline, budget)
+        if regressions:
+            print(f"\nregressions beyond {budget:.0%} vs {args.baseline}:")
+            for item in regressions:
+                print(
+                    f"  {item['scenario']}: {item['metric']} "
+                    f"{item['baseline']:g} -> {item['current']:g} "
+                    f"({item['change_pct']:+.1f}%)"
+                )
+            return 1
+        print(f"\nno regressions beyond {budget:.0%} vs {args.baseline}")
+    return 0
+
+
 def cmd_lint(args):
     from repro.analysis import all_rules, lint_paths
 
@@ -238,6 +321,7 @@ def main(argv=None):
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
         "faults": cmd_faults,
+        "bench": cmd_bench,
         "lint": cmd_lint,
         "sanitize": cmd_sanitize,
         "inventory": cmd_inventory,

@@ -193,8 +193,15 @@ class GwPodRuntime:
         latency = packet.latency_ns
         if latency is not None and packet.drop_reason is None:
             self.latency_histogram.record(latency)
-        key = outcome.value if hasattr(outcome, "value") else str(outcome)
-        self.outcomes[key] = self.outcomes.get(key, 0) + 1
+        try:
+            key = outcome.value
+        except AttributeError:
+            key = str(outcome)
+        outcomes = self.outcomes
+        try:
+            outcomes[key] += 1
+        except KeyError:
+            outcomes[key] = 1
 
     def _on_protocol(self, packet):
         self.protocol_delivered.append((self.sim.now, packet))

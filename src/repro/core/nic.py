@@ -13,6 +13,7 @@ Per-module latencies come from Tab. 4 via
 
 from repro.analysis.sanitizer import get_sanitizer
 from repro.core.meta import MetaPlacement, placement_throughput_factor
+from repro.core.offload import FAST_PATH_LATENCY_NS
 from repro.core.pktdir import DeliveryPath, PktDir
 from repro.core.plb.dispatch import PlbDispatcher
 from repro.core.plb.reorder import ReorderEngine, ReorderQueueConfig, TxOutcome
@@ -109,6 +110,14 @@ class NicPipeline:
         self._tx_post_reorder_ns = self.latency.module_ns(
             "plb", "tx"
         ) + self.latency.module_ns("basic_pipeline", "tx")
+        # Hot-path bindings: these objects never change over the pipeline's
+        # lifetime (unlike egress_fn/rate_limiter/session_offload, which
+        # experiments swap post-construction and must be read per call).
+        self._schedule = sim.schedule
+        self._incr = self.counters.incr
+        self._classify = self.pkt_dir.classify
+        self._plb_dispatch = self.plb.dispatch
+        self._rss_dispatch = self.rss.dispatch
 
     # ------------------------------------------------------------------
     # Sanitizer ledger
@@ -134,34 +143,36 @@ class NicPipeline:
 
     def ingress(self, packet):
         """A packet arrives from the wire at the current sim time."""
-        packet.arrival_ns = self.sim.now
-        self.counters.incr("rx_packets")
-        if self._sanitizer is not None:
+        sanitizer = self._sanitizer
+        incr = self._incr
+        packet.arrival_ns = self.sim._now
+        incr("rx_packets")
+        if sanitizer is not None:
             self._san_injected += 1
         if self._fpga_stalled:
             # A stalled pipeline makes no forward progress; the wire keeps
             # delivering and the packets are simply lost.
             packet.drop_reason = "fpga_stall"
-            self.counters.incr("fpga_stall_drops")
-            if self._sanitizer is not None:
+            incr("fpga_stall_drops")
+            if sanitizer is not None:
                 self._san_settle(packet, "fpga_stall_drop")
             return
-        path, header_only = self.pkt_dir.classify(packet)
+        path, header_only = self._classify(packet)
 
         if path is DeliveryPath.PRIORITY:
             # Priority path skips the rate limiter and PLB entirely.
-            self.sim.schedule(self._rx_latency_ns, self.priority.enqueue, packet)
-            self.counters.incr("rx_priority")
-            if self._sanitizer is not None:
+            self._schedule(self._rx_latency_ns, self.priority.enqueue, packet)
+            incr("rx_priority")
+            if sanitizer is not None:
                 self._san_settle(packet, "priority_handoff")
             return
 
         if self.rate_limiter is not None:
-            decision = self.rate_limiter.admit(packet.vni, self.sim.now)
+            decision = self.rate_limiter.admit(packet.vni, self.sim._now)
             if not decision.allowed:
                 packet.drop_reason = f"rate_limit_{decision.value}"
-                self.counters.incr("rate_limited_drops")
-                if self._sanitizer is not None:
+                incr("rate_limited_drops")
+                if sanitizer is not None:
                     self._san_settle(packet, "rate_limited_drop")
                 return
 
@@ -169,27 +180,25 @@ class NicPipeline:
             packet.flow
         ):
             # FPGA fast path: established session, CPU never sees it.
-            from repro.core.offload import FAST_PATH_LATENCY_NS
-
-            self.counters.incr("offload_fast_path")
-            self.sim.schedule(
+            incr("offload_fast_path")
+            self._schedule(
                 FAST_PATH_LATENCY_NS, self._transmit, packet, "fpga_fast_path"
             )
             return
 
         if path is DeliveryPath.PLB:
-            core = self.plb.dispatch(
+            core = self._plb_dispatch(
                 packet, header_only=header_only or self.config.header_only
             )
             if core is None:
-                self.counters.incr("reorder_fifo_drops")
-                if self._sanitizer is not None:
+                incr("reorder_fifo_drops")
+                if sanitizer is not None:
                     self._san_settle(packet, "ingress_drop")
                 return
         else:
-            core = self.rss.dispatch(packet)
-        self.counters.incr("dispatched")
-        self.sim.schedule(self._rx_latency_ns, self._deliver_to_core, packet, core)
+            core = self._rss_dispatch(packet)
+        incr("dispatched")
+        self._schedule(self._rx_latency_ns, self._deliver_to_core, packet, core)
 
     def _deliver_to_core(self, packet, core):
         if self.pcie_link is not None:
@@ -199,7 +208,7 @@ class NicPipeline:
             # Silent driver loss: the NIC is never told.  For PLB packets
             # this leaves a hole in the reorder FIFO -> HOL until timeout.
             packet.drop_reason = "rx_queue_overflow"
-            self.counters.incr("rx_queue_drops")
+            self._incr("rx_queue_drops")
             if self._sanitizer is not None:
                 self._san_settle(packet, "rx_queue_overflow")
 
@@ -209,13 +218,13 @@ class NicPipeline:
 
     def on_cpu_completion(self, packet, verdict, core):
         """Wired as every data core's completion callback."""
-        if verdict is Verdict.DROP_SILENT:
-            self.counters.incr("cpu_silent_drops")
-            if self._sanitizer is not None:
-                self._san_settle(packet, "cpu_silent_drop")
-            return
-        if verdict is Verdict.DROP_ACL:
-            self.counters.incr("cpu_acl_drops")
+        if verdict is not Verdict.FORWARD:
+            if verdict is Verdict.DROP_SILENT:
+                self._incr("cpu_silent_drops")
+                if self._sanitizer is not None:
+                    self._san_settle(packet, "cpu_silent_drop")
+                return
+            self._incr("cpu_acl_drops")
             if self._sanitizer is not None:
                 # Terminal here: the later drop-flag release only reclaims
                 # reorder resources, it must not settle the packet again.
@@ -223,7 +232,7 @@ class NicPipeline:
             if packet.meta is not None and self.config.drop_flag_enabled:
                 # Active drop flag: notify the NIC so reorder resources are
                 # released without waiting for the 100 us timeout.
-                self.sim.schedule(self._tx_dma_ns, self.reorder.notify_drop, packet)
+                self._schedule(self._tx_dma_ns, self.reorder.notify_drop, packet)
             # Without the flag (or under RSS) the drop is invisible to the
             # NIC -- PLB pays for it with head-of-line blocking.
             return
@@ -234,16 +243,16 @@ class NicPipeline:
             # TX crossing of the CPU->FPGA DMA.
             self.pcie_link.record(packet.size, split=packet.header_only)
         if packet.meta is not None:
-            self.sim.schedule(self._tx_dma_ns, self.reorder.writeback, packet)
+            self._schedule(self._tx_dma_ns, self.reorder.writeback, packet)
         else:
             # RSS path: no reordering, straight to the deparser.
-            self.sim.schedule(
+            self._schedule(
                 self._tx_dma_ns + self._tx_post_reorder_ns, self._transmit, packet, "rss"
             )
 
     def _on_reorder_transmit(self, packet, outcome):
-        if outcome in (TxOutcome.RELEASED_DROP_FLAG, TxOutcome.DROPPED_PAYLOAD_GONE):
-            self.counters.incr(f"reorder_{outcome.value}")
+        if outcome is TxOutcome.RELEASED_DROP_FLAG or outcome is TxOutcome.DROPPED_PAYLOAD_GONE:
+            self._incr(f"reorder_{outcome.value}")
             if (
                 self._sanitizer is not None
                 and outcome is TxOutcome.DROPPED_PAYLOAD_GONE
@@ -252,7 +261,7 @@ class NicPipeline:
                 # payload-gone drop is this packet's first terminal stage.
                 self._san_settle(packet, "payload_gone_drop")
             return
-        self.sim.schedule(self._tx_post_reorder_ns, self._transmit, packet, outcome)
+        self._schedule(self._tx_post_reorder_ns, self._transmit, packet, outcome)
 
     def _transmit(self, packet, outcome):
         if self._sanitizer is not None:
@@ -268,8 +277,8 @@ class NicPipeline:
                 uid=packet.uid, outcome=str(outcome),
             )
             self._san_settle(packet, "tx")
-        packet.departure_ns = self.sim.now
-        self.counters.incr("tx_packets")
+        packet.departure_ns = self.sim._now
+        self._incr("tx_packets")
         self.egress_fn(packet, outcome)
 
     # ------------------------------------------------------------------

@@ -102,13 +102,25 @@ class PktDir:
 
     def classify(self, packet):
         """Return (DeliveryPath, header_only) for ``packet``."""
-        for rule in self._rules:
-            if rule.matches(packet):
-                self.classified[rule.path] += 1
-                return rule.path, rule.header_only
-        if packet.kind is PacketKind.PROTOCOL:
+        rules = self._rules
+        if rules:
+            for rule in rules:
+                # Inline of PktDirRule.matches (kept in sync): the rule
+                # walk sits on the per-packet ingress path.
+                if (
+                    (rule.kind is None or packet.kind is rule.kind)
+                    and (rule.vni is None or packet.vni == rule.vni)
+                    and (
+                        rule.dst_port is None
+                        or packet.flow.dst_port == rule.dst_port
+                    )
+                ):
+                    self.classified[rule.path] += 1
+                    return rule.path, rule.header_only
+        kind = packet.kind
+        if kind is PacketKind.PROTOCOL:
             path = DeliveryPath.PRIORITY
-        elif packet.kind is PacketKind.STATEFUL:
+        elif kind is PacketKind.STATEFUL:
             path = DeliveryPath.RSS
         else:
             path = self.default_data_path

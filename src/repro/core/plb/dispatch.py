@@ -32,6 +32,17 @@ class PlbDispatcher:
             clock); timestamps feed the reorder timeout logic.
     """
 
+    __slots__ = (
+        "cores",
+        "reorder",
+        "now_fn",
+        "_rr_index",
+        "dispatched",
+        "fifo_full_drops",
+        "dead_core_drops",
+        "_ordq_cache",
+    )
+
     def __init__(self, cores, reorder, now_fn):
         if not cores:
             raise ValueError("PLB needs at least one core")
@@ -42,10 +53,19 @@ class PlbDispatcher:
         self.dispatched = 0
         self.fifo_full_drops = 0
         self.dead_core_drops = 0
+        # Flow -> order queue memo (same bounded-cache pattern as the RSS
+        # Toeplitz cache): the CRC+mix is pure in the 5-tuple, and flow
+        # populations are tiny next to the cap.
+        self._ordq_cache = {}
 
     def ordq_index(self, flow):
         """``get_ordq_idx``: 5-tuple hash onto the pod's order queues."""
-        return crc32_flow_hash(flow, seed=ORDQ_HASH_SEED) % self.reorder.queue_count
+        ordq = self._ordq_cache.get(flow)
+        if ordq is None:
+            ordq = crc32_flow_hash(flow, seed=ORDQ_HASH_SEED) % self.reorder.queue_count
+            if len(self._ordq_cache) < 1_000_000:
+                self._ordq_cache[flow] = ordq
+        return ordq
 
     def dispatch(self, packet, header_only=False):
         """Tag and spray one packet.
@@ -88,11 +108,17 @@ class PlbDispatcher:
         The caller commits ``index_after_it`` to ``_rr_index`` only once
         the dispatch succeeds, so drops do not advance the rotation.
         """
+        cores = self.cores
+        count = len(cores)
         index = self._rr_index
-        for _ in range(len(self.cores)):
-            core = self.cores[index]
-            index = (index + 1) % len(self.cores)
-            if getattr(core, "available", True):
+        for _ in range(count):
+            core = cores[index]
+            index += 1
+            if index == count:
+                index = 0
+            # Equivalent to the `available` property, without the
+            # descriptor call; fake cores without the flag are available.
+            if not getattr(core, "_failed", False):
                 return core, index
         return None, self._rr_index
 

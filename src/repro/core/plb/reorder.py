@@ -176,21 +176,22 @@ class ReorderEngine:
         Returns the assigned PSN, or None if the FIFO is full.
         """
         queue = self._queues[ordq]
-        if len(queue.fifo) >= self.config.depth:
+        fifo = queue.fifo
+        if len(fifo) >= self.config.depth:
             self.stats.fifo_full += 1
             return None
         psn = queue.tail_ptr
-        queue.tail_ptr += 1
-        queue.fifo.append(ReorderInfo(psn, now_ns))
+        queue.tail_ptr = psn + 1
+        fifo.append(ReorderInfo(psn, now_ns))
         self.stats.admitted += 1
         if self._sanitizer is not None:
             self._sanitizer.ensure(
-                len(queue.fifo) <= self.config.depth, "finite-queue-bound",
-                f"reorder FIFO {ordq} holds {len(queue.fifo)} entries, "
+                len(fifo) <= self.config.depth, "finite-queue-bound",
+                f"reorder FIFO {ordq} holds {len(fifo)} entries, "
                 f"depth is {self.config.depth}",
-                ordq=ordq, occupancy=len(queue.fifo), depth=self.config.depth,
+                ordq=ordq, occupancy=len(fifo), depth=self.config.depth,
             )
-        if len(queue.fifo) == 1:
+        if len(fifo) == 1:
             self._arm_timeout(ordq, queue)
         return psn
 
@@ -218,13 +219,18 @@ class ReorderEngine:
             return
         queue = self._queues[meta.ordq]
 
-        if not self._legal_check(queue, meta.psn12):
+        # Legal check: is psn12 within the FIFO's [head, tail) window, mod
+        # 4096?  Only the low 12 bits are compared, exactly as in the
+        # hardware; a very stale packet can alias into the window (caught
+        # later by the reorder check's PSN comparison, case 3).
+        slot = meta.psn12
+        outstanding = len(queue.fifo)
+        if outstanding == 0 or (slot - (queue.head_ptr & 0xFFF)) & 0xFFF >= outstanding:
             # Timed-out packet whose slot has already been released.
             self._transmit_late(packet)
             self._drain(meta.ordq, queue)
             return
 
-        slot = meta.psn12
         if queue.bitmap_valid[slot]:
             # Extremely late duplicate writeback into an occupied slot:
             # forward the resident best-effort and take the slot over.
@@ -281,53 +287,49 @@ class ReorderEngine:
     # Internals
     # ------------------------------------------------------------------
 
-    def _legal_check(self, queue, psn12):
-        """Is ``psn12`` within the FIFO's [head, tail) window (mod 4096)?
-
-        Only the low 12 bits are compared, exactly as in the hardware; a
-        very stale packet can alias into the window (caught later by the
-        reorder check's PSN comparison, case 3).
-        """
-        outstanding = len(queue.fifo)
-        if outstanding == 0:
-            return False
-        offset = (psn12 - (queue.head_ptr & 0xFFF)) & 0xFFF
-        return offset < outstanding
-
     def _drain(self, ordq, queue):
         """Reorder check: release every in-order head that is ready."""
-        while queue.fifo:
-            head = queue.fifo[0]
-            slot = head.psn & 0xFFF
-            if not queue.bitmap_valid[slot]:
-                now = self.sim.now
-                if now - head.enqueue_ns >= self.config.timeout_ns:
+        fifo = queue.fifo
+        buf = queue.buf
+        bitmap_valid = queue.bitmap_valid
+        bitmap_psn = queue.bitmap_psn
+        stats = self.stats
+        transmit_fn = self.transmit_fn
+        while fifo:
+            head = fifo[0]
+            head_psn = head.psn
+            slot = head_psn & 0xFFF
+            if not bitmap_valid[slot]:
+                if self.sim._now - head.enqueue_ns >= self.config.timeout_ns:
                     # Case 1: head timed out; release it unfulfilled.
-                    queue.fifo.popleft()
-                    queue.head_ptr = head.psn + 1
-                    self.stats.timeout_releases += 1
-                    self.stats.hol_events += 1
+                    fifo.popleft()
+                    queue.head_ptr = head_psn + 1
+                    stats.timeout_releases += 1
+                    stats.hol_events += 1
                     continue
                 break  # Case 2: keep waiting for the CPU.
-            packet, header_only = queue.buf[slot]
-            if queue.bitmap_psn[slot] != head.psn:
+            packet, header_only = buf[slot]
+            if bitmap_psn[slot] != head_psn:
                 # Case 3: a stale (timed-out) packet passed the legal check.
-                self.stats.stale_writebacks += 1
-                self._clear_slot(queue, slot)
+                stats.stale_writebacks += 1
+                buf[slot] = None
+                bitmap_valid[slot] = False
                 self._transmit_best_effort(packet, header_only)
                 continue  # head still waits for its real packet
             # Case 4: in-order transmission (or drop-flag release).
-            queue.fifo.popleft()
-            queue.head_ptr = head.psn + 1
-            self._clear_slot(queue, slot)
+            fifo.popleft()
+            queue.head_ptr = head_psn + 1
+            buf[slot] = None
+            bitmap_valid[slot] = False
             if self._sanitizer is not None:
-                self._note_in_order_release(ordq, head.psn)
-            if packet.meta is not None and packet.meta.drop:
-                self.stats.drop_flag_releases += 1
-                self.transmit_fn(packet, TxOutcome.RELEASED_DROP_FLAG)
+                self._note_in_order_release(ordq, head_psn)
+            meta = packet.meta
+            if meta is not None and meta.drop:
+                stats.drop_flag_releases += 1
+                transmit_fn(packet, TxOutcome.RELEASED_DROP_FLAG)
             else:
-                self.stats.in_order += 1
-                self.transmit_fn(packet, TxOutcome.IN_ORDER)
+                stats.in_order += 1
+                transmit_fn(packet, TxOutcome.IN_ORDER)
         self._arm_timeout(ordq, queue)
 
     def _note_in_order_release(self, ordq, psn):
@@ -351,10 +353,11 @@ class ReorderEngine:
             queue.timeout_event = None
         if not queue.fifo:
             return
-        head = queue.fifo[0]
-        deadline = head.enqueue_ns + self.config.timeout_ns
-        delay = max(0, deadline - self.sim.now)
-        queue.timeout_event = self.sim.schedule(delay, self._on_timeout, ordq)
+        sim = self.sim
+        delay = queue.fifo[0].enqueue_ns + self.config.timeout_ns - sim._now
+        if delay < 0:
+            delay = 0
+        queue.timeout_event = sim.schedule(delay, self._on_timeout, ordq)
 
     def _on_timeout(self, ordq):
         queue = self._queues[ordq]

@@ -85,6 +85,9 @@ class CpuCore:
         self._pending_stall_ns = 0
         self._failed = False
         self._resume_event = None
+        # Hot-path bindings: the RX ring never changes over the core's life.
+        self._rx_push = self.rx_queue.push
+        self._rx_pop = self.rx_queue.pop
 
     @property
     def busy(self):
@@ -107,7 +110,7 @@ class CpuCore:
         exactly the loss mode that creates reorder-FIFO head-of-line
         blocking (§4.1).
         """
-        accepted = self.rx_queue.push(packet)
+        accepted = self._rx_push(packet)
         if self._sanitizer is not None:
             self._sanitizer.ensure(
                 len(self.rx_queue) <= self.rx_queue.capacity,
@@ -157,15 +160,22 @@ class CpuCore:
         if self._failed:
             self._busy = False
             return
-        packet = self.rx_queue.pop()
+        packet = self._rx_pop()
         if packet is None:
             self._busy = False
             return
         self._busy = True
         service_ns = self.chain.service_time_ns(packet)
-        if self.jitter is not None:
-            service_ns += self.jitter.draw_ns()
-        service_ns = int(service_ns * self.speed_factor)
+        jitter = self.jitter
+        if jitter is not None:
+            service_ns += jitter.draw_ns()
+        factor = self.speed_factor
+        if factor != 1.0:
+            service_ns = int(service_ns * factor)
+        elif service_ns.__class__ is not int:
+            # A unit speed factor never changes the value: skip the float
+            # multiply and only coerce non-integer custom service times.
+            service_ns = int(service_ns)
         if self._pending_stall_ns:
             service_ns += self._pending_stall_ns
             self._pending_stall_ns = 0
@@ -180,13 +190,13 @@ class CpuCore:
         self.sim.schedule(service_ns, self._finish, packet)
 
     def _finish(self, packet):
-        self.stats.processed += 1
-        verdict = (
-            self.verdict_fn(packet) if self.verdict_fn is not None else Verdict.FORWARD
-        )
+        stats = self.stats
+        stats.processed += 1
+        verdict_fn = self.verdict_fn
+        verdict = verdict_fn(packet) if verdict_fn is not None else Verdict.FORWARD
         if verdict is Verdict.FORWARD:
-            self.stats.forwarded += 1
+            stats.forwarded += 1
         else:
-            self.stats.dropped += 1
+            stats.dropped += 1
         self.completion_fn(packet, verdict, self)
         self._start_next()

@@ -148,24 +148,44 @@ class ServiceChain:
             # Align regions to cache lines so tables never share a line.
             base += span + (-span % CACHE_LINE_BYTES)
         self.region_end = base
+        # Analytic mode yields a constant (every knob is construction-time
+        # only); computed with the same float expression the per-packet
+        # path used, so the value matches exactly.
+        self._analytic_ns = int(
+            float(service.base_ns)
+            + service.lookup_count
+            * self.timings.expected_lookup_ns(self.assumed_hit_rate)
+        )
+        # Flow -> address-chain memo: the CRC mix is pure in the flow
+        # (same bounded pattern as the RSS Toeplitz cache).
+        self._addr_cache = {}
 
     def lookup_addresses(self, flow):
-        """Yield (address, entry_bytes) touched by this flow's chain."""
-        for index, (base, entries, entry_bytes) in enumerate(self._regions):
-            entry = crc32_flow_hash(flow, seed=index * 0x1000 + 1) % entries
-            yield base + entry * entry_bytes, entry_bytes
+        """(address, entry_bytes) pairs touched by this flow's chain."""
+        addresses = self._addr_cache.get(flow)
+        if addresses is None:
+            addresses = tuple(
+                (
+                    base
+                    + (crc32_flow_hash(flow, seed=index * 0x1000 + 1) % entries)
+                    * entry_bytes,
+                    entry_bytes,
+                )
+                for index, (base, entries, entry_bytes) in enumerate(self._regions)
+            )
+            if len(self._addr_cache) < 1_000_000:
+                self._addr_cache[flow] = addresses
+        return addresses
 
     def service_time_ns(self, packet):
         """Per-packet service time in integer nanoseconds."""
+        cache = self.cache
+        if cache is None:
+            return self._analytic_ns
+        timings = self.timings
         total = float(self.service.base_ns)
-        if self.cache is None:
-            total += self.service.lookup_count * self.timings.expected_lookup_ns(
-                self.assumed_hit_rate
-            )
-        else:
-            for address, entry_bytes in self.lookup_addresses(packet.flow):
-                hit = self.cache.access(address, entry_bytes)
-                total += self.timings.lookup_ns(hit)
+        for address, entry_bytes in self.lookup_addresses(packet.flow):
+            total += timings.lookup_ns(cache.access(address, entry_bytes))
         return int(total)
 
     def expected_service_ns(self, hit_rate=None):

@@ -2,13 +2,24 @@
 
 
 class CounterSet:
-    """A dict of integer counters with convenience arithmetic."""
+    """A dict of integer counters with convenience arithmetic.
+
+    ``incr`` sits on the per-packet hot path (several bumps per packet in
+    the NIC pipeline), so it is a plain try/except indexed add: the miss
+    path runs once per counter name, every later bump is one dict store.
+    """
+
+    __slots__ = ("_counts",)
 
     def __init__(self):
         self._counts = {}
 
     def incr(self, name, amount=1):
-        self._counts[name] = self._counts.get(name, 0) + amount
+        counts = self._counts
+        try:
+            counts[name] += amount
+        except KeyError:
+            counts[name] = amount
 
     def get(self, name):
         return self._counts.get(name, 0)

@@ -4,8 +4,25 @@ Production telemetry uses log buckets (the Fig. 11 distribution); tests
 want exact percentiles.  This histogram does both: it keeps log-bucket
 counts always and raw samples up to a cap (reservoir-style thinning past
 the cap keeps percentiles approximately exact without unbounded memory).
+
+Hot-path and correctness notes:
+
+* Bucket boundaries are computed with **integer comparisons**, never
+  ``math.log``: float rounding misbuckets values that sit exactly on a
+  boundary (``log(1000)/log(10)`` evaluates to ``2.999...``), and the
+  result differed across libm implementations.  Boundaries are derived
+  from an exact :class:`fractions.Fraction` of ``bucket_factor``, so the
+  bucket edges are identical on every platform.  For the default
+  ``bucket_factor=2.0``, bucketing is a single ``int.bit_length`` call.
+* Bucket counts live in a preallocated list indexed by bucket number
+  (grown on demand), not a dict -- one indexed increment per record.
+* ``percentile``/``fraction_below`` reuse a sorted view of the reservoir
+  cached per ``count`` (every ``record`` bumps ``count``, so a stale
+  cache is impossible), instead of re-sorting per query.
 """
 
+from bisect import bisect_left, bisect_right
+from fractions import Fraction
 import math
 
 from repro.sim.rng import derived_stream
@@ -20,19 +37,44 @@ class LatencyHistogram:
             sampling keeps a uniform subset.
     """
 
+    __slots__ = (
+        "bucket_factor",
+        "max_samples",
+        "_bucket_counts",
+        "_bounds",
+        "_bound_fraction",
+        "_power_of_two",
+        "_samples",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_rng",
+        "_sorted_cache",
+        "_sorted_cache_count",
+    )
+
     def __init__(self, bucket_factor=2.0, max_samples=200_000, seed=1):
         if bucket_factor <= 1.0:
             raise ValueError("bucket_factor must exceed 1.0")
         self.bucket_factor = bucket_factor
         self.max_samples = max_samples
-        self._log_factor = math.log(bucket_factor)
-        self._buckets = {}
+        # Exact binary value of the factor: boundary k is ceil(factor**k)
+        # computed in integer arithmetic, deterministic across platforms.
+        self._bound_fraction = Fraction(bucket_factor)
+        self._power_of_two = bucket_factor == 2.0
+        # _bounds[k] = smallest integer in bucket k+1; bucket b >= 1 holds
+        # x with _bounds[b-1] <= x < _bounds[b].  Bucket 0 holds x == 0.
+        self._bounds = [1]
+        self._bucket_counts = [0, 0]
         self._samples = []
         self._count = 0
         self._sum = 0
         self._min = None
         self._max = None
         self._rng = derived_stream("metrics.histogram.reservoir", seed=seed)
+        self._sorted_cache = []
+        self._sorted_cache_count = 0
 
     def record(self, latency_ns):
         if latency_ns < 0:
@@ -43,20 +85,46 @@ class LatencyHistogram:
             self._min = latency_ns
         if self._max is None or latency_ns > self._max:
             self._max = latency_ns
-        bucket = self._bucket_of(latency_ns)
-        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
-        if len(self._samples) < self.max_samples:
-            self._samples.append(latency_ns)
+        if latency_ns == 0:
+            bucket = 0
+        elif self._power_of_two:
+            # bucket b >= 1 holds [2**(b-1), 2**b); exactly bit_length.
+            bucket = latency_ns.bit_length()
+        else:
+            bounds = self._bounds
+            while bounds[-1] <= latency_ns:
+                self._extend_bounds()
+            bucket = bisect_right(bounds, latency_ns)
+        counts = self._bucket_counts
+        if bucket >= len(counts):
+            counts.extend([0] * (bucket + 1 - len(counts)))
+        counts[bucket] += 1
+        samples = self._samples
+        if len(samples) < self.max_samples:
+            samples.append(latency_ns)
         else:
             # Vitter's algorithm R.
             index = self._rng.randrange(self._count)
             if index < self.max_samples:
-                self._samples[index] = latency_ns
+                samples[index] = latency_ns
+
+    def _extend_bounds(self):
+        """Append the next integer bucket boundary (exact ceil(factor**k))."""
+        power = self._bound_fraction ** len(self._bounds)
+        boundary = -(-power.numerator // power.denominator)  # ceil
+        # Factors close to 1 can repeat an integer boundary; buckets must
+        # stay non-degenerate, so each boundary strictly increases.
+        self._bounds.append(max(boundary, self._bounds[-1] + 1))
 
     def _bucket_of(self, latency_ns):
+        """Bucket index for ``latency_ns`` (integer-exact at boundaries)."""
         if latency_ns == 0:
             return 0
-        return 1 + int(math.log(latency_ns) / self._log_factor)
+        if self._power_of_two:
+            return latency_ns.bit_length()
+        while self._bounds[-1] <= latency_ns:
+            self._extend_bounds()
+        return bisect_right(self._bounds, latency_ns)
 
     @property
     def count(self):
@@ -74,33 +142,94 @@ class LatencyHistogram:
     def max_ns(self):
         return self._max
 
+    def _sorted_samples(self):
+        """Sorted view of the reservoir, cached until the next record.
+
+        ``_count`` increments on every record (and merge), so comparing the
+        cached count is a complete invalidation check -- the record path
+        pays nothing for the cache.
+        """
+        if self._sorted_cache_count != self._count:
+            self._sorted_cache = sorted(self._samples)
+            self._sorted_cache_count = self._count
+        return self._sorted_cache
+
     def percentile(self, fraction):
         """Latency at ``fraction`` (0..1], e.g. 0.99 for P99."""
         if not 0 < fraction <= 1:
             raise ValueError(f"fraction out of range: {fraction}")
         if not self._samples:
             return 0
-        ordered = sorted(self._samples)
+        ordered = self._sorted_samples()
         index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
         return ordered[index]
 
     def fraction_below(self, threshold_ns):
-        """Fraction of recorded latencies strictly below ``threshold_ns``."""
+        """Fraction of recorded latencies strictly below ``threshold_ns``.
+
+        Computed over the retained reservoir: exact while ``count`` is at
+        most ``max_samples``, reservoir-approximate beyond that (a uniform
+        subsample of the full stream, like ``percentile``).
+        """
         if not self._samples:
             return 0.0
-        below = sum(1 for sample in self._samples if sample < threshold_ns)
-        return below / len(self._samples)
+        ordered = self._sorted_samples()
+        return bisect_left(ordered, threshold_ns) / len(ordered)
 
     def bucket_counts(self):
-        """{bucket upper bound ns: count} sorted ascending (Fig. 11 data)."""
+        """{bucket upper bound ns: count} sorted ascending (Fig. 11 data).
+
+        Edges come from the exact integer boundary table, so they are
+        identical across platforms (``int(factor**bucket)`` was not, for
+        large powers).
+        """
         result = {}
-        for bucket, count in sorted(self._buckets.items()):
-            upper = 0 if bucket == 0 else self.bucket_factor**bucket
-            result[int(upper)] = count
+        for bucket, count in enumerate(self._bucket_counts):
+            if not count:
+                continue
+            while bucket >= len(self._bounds):
+                self._extend_bounds()
+            upper = 0 if bucket == 0 else self._bounds[bucket]
+            result[upper] = count
         return result
 
     def merge(self, other):
-        """Fold another histogram's samples into this one."""
+        """Fold another histogram into this one.
+
+        Aggregates (``count``, ``sum``, ``min``, ``max`` and the bucket
+        counts) are merged **directly**, so merging a thinned histogram is
+        exact: re-recording only ``other``'s retained reservoir samples
+        would undercount everything past its ``max_samples`` cap.  Only
+        the reservoir folds sample-by-sample (it stays an approximation by
+        construction).  Requires matching ``bucket_factor``.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        if other.bucket_factor != self.bucket_factor:
+            raise ValueError(
+                f"bucket_factor mismatch: {self.bucket_factor} vs "
+                f"{other.bucket_factor}"
+            )
+        if other._count == 0:
+            return self
+        self._count += other._count
+        self._sum += other._sum
+        if self._min is None or (other._min is not None and other._min < self._min):
+            self._min = other._min
+        if self._max is None or (other._max is not None and other._max > self._max):
+            self._max = other._max
+        counts = self._bucket_counts
+        if len(other._bucket_counts) > len(counts):
+            counts.extend([0] * (len(other._bucket_counts) - len(counts)))
+        for bucket, count in enumerate(other._bucket_counts):
+            if count:
+                counts[bucket] += count
+        samples = self._samples
         for sample in other._samples:
-            self.record(sample)
+            if len(samples) < self.max_samples:
+                samples.append(sample)
+            else:
+                index = self._rng.randrange(self._count)
+                if index < self.max_samples:
+                    samples[index] = sample
         return self

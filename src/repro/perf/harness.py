@@ -1,0 +1,154 @@
+"""Benchmark timing, report schema, and baseline comparison.
+
+The report written to ``BENCH_repro.json`` is a stable, append-friendly
+schema::
+
+    {"schema_version": 1,
+     "created_unix": <int>,
+     "quick": <bool>,
+     "host": {"python": ..., "implementation": ..., "platform": ...,
+              "machine": ..., "cpu_count": ...},
+     "scenarios": {"steady-state-plb": {"wall_s": ..., "events": ...,
+                                        "packets": ..., "sim_ns": ...,
+                                        "events_per_sec": ...,
+                                        "sim_pps": ..., "wall_pps": ...},
+                   ...}}
+
+``events_per_sec`` (engine events retired per wall second) is the primary
+regression metric; ``wall_pps`` (packets delivered per wall second) is the
+fallback for scenarios that aggregate several simulators and report no
+single event count.  ``sim_pps`` is the *simulated* packet rate -- a
+determinism check, not a speed metric: it must not move between runs of
+the same code.
+"""
+
+import json
+import os
+import platform
+import time  # lint: disable=DET001(host-side wall-clock benchmark timing, not sim state)
+
+from repro.perf.scenarios import SCENARIOS
+
+SCHEMA_VERSION = 1
+
+
+def host_metadata():
+    """Host facts needed to judge whether two reports are comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _time_scenario(fn, quick):
+    start = time.perf_counter()
+    raw = fn(quick)
+    wall_s = time.perf_counter() - start
+    events = raw.get("events")
+    sim_ns = raw.get("sim_ns")
+    packets = raw.get("packets") or 0
+    return {
+        "wall_s": round(wall_s, 6),
+        "events": events,
+        "packets": packets,
+        "sim_ns": sim_ns,
+        "events_per_sec": (
+            round(events / wall_s, 1) if events and wall_s > 0 else None
+        ),
+        "sim_pps": round(packets / (sim_ns / 1e9), 1) if sim_ns else None,
+        "wall_pps": round(packets / wall_s, 1) if packets and wall_s > 0 else None,
+    }
+
+
+def run_bench(quick=False, names=None):
+    """Run the canonical scenarios and return the report dict.
+
+    ``names`` optionally restricts the run to a subset (unknown names
+    raise ``ValueError`` so a CLI typo fails loudly).
+    """
+    available = dict(SCENARIOS)
+    if names is not None:
+        unknown = [name for name in names if name not in available]
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(name for name, _ in SCENARIOS)}"
+            )
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": int(time.time()),
+        "quick": bool(quick),
+        "host": host_metadata(),
+        "scenarios": {},
+    }
+    for name, fn in SCENARIOS:
+        if names is not None and name not in names:
+            continue
+        report["scenarios"][name] = _time_scenario(fn, quick)
+    return report
+
+
+def write_report(report, path):
+    """Write the report as deterministic-key-order JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def parse_max_regress(text):
+    """Parse a regression budget: ``10%``, ``10`` and ``0.10`` all mean 10%.
+
+    Bare numbers above 1 are read as percentages; at or below 1 as
+    fractions.  Returns the fraction.
+    """
+    value = str(text).strip()
+    if value.endswith("%"):
+        fraction = float(value[:-1]) / 100.0
+    else:
+        number = float(value)
+        fraction = number / 100.0 if number > 1.0 else number
+    if fraction < 0:
+        raise ValueError(f"regression budget must be >= 0, got {text!r}")
+    return fraction
+
+
+def compare_to_baseline(report, baseline, max_regress):
+    """Compare ``report`` against ``baseline``; return regression records.
+
+    For each scenario present in both, the primary throughput metric
+    (``events_per_sec``, else ``wall_pps``) must be at least
+    ``(1 - max_regress)`` of the baseline value.  Scenarios with neither
+    metric (aggregate suites) fall back to ``wall_s``, which must not
+    *grow* beyond ``(1 + max_regress)``.  Scenarios missing from either
+    side are skipped -- the bench set may grow over time without
+    invalidating old baselines.
+    """
+    regressions = []
+    baseline_scenarios = baseline.get("scenarios", {})
+    for name, entry in report.get("scenarios", {}).items():
+        base = baseline_scenarios.get(name)
+        if base is None:
+            continue
+        for metric in ("events_per_sec", "wall_pps", "wall_s"):
+            new_value = entry.get(metric)
+            old_value = base.get(metric)
+            if new_value and old_value:
+                break
+        else:
+            continue
+        if metric == "wall_s":
+            regressed = new_value > old_value * (1.0 + max_regress)
+        else:
+            regressed = new_value < old_value * (1.0 - max_regress)
+        if regressed:
+            regressions.append({
+                "scenario": name,
+                "metric": metric,
+                "baseline": old_value,
+                "current": new_value,
+                "change_pct": round((new_value - old_value) / old_value * 100, 1),
+            })
+    return regressions

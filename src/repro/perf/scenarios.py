@@ -1,0 +1,142 @@
+"""Canonical benchmark scenarios.
+
+Each scenario is a function ``fn(quick)`` that builds a fresh simulator,
+drives a workload chosen to stress one hot path, and returns raw volume
+numbers::
+
+    {"events": <engine events processed>,   # None if not meaningful
+     "sim_ns": <simulated nanoseconds>,     # None if not meaningful
+     "packets": <packets delivered end-to-end>}
+
+The harness owns all wall-clock timing; scenarios must not import
+``time``.  Seeds are fixed so every run replays the same event stream --
+wall-clock is the only quantity allowed to vary between runs.
+
+The set covers the paths the hot-path pass optimizes:
+
+* ``steady-state-plb`` -- the engine run loop, PLB spray, reorder
+  writeback and the latency histogram at a comfortable 70% load.
+* ``microburst-reorder`` -- reorder timeouts, FIFO pressure and RX-drop
+  recovery under 6x microbursts into small RX rings.
+* ``ratelimit-churn`` -- the two-stage limiter's admit path at 90% load
+  with the pre-table churning (promote/demote every 10 ms).
+* ``fault-suite-quick`` -- the fault-injection scenarios in quick mode:
+  a breadth pass over control-plane paths the other scenarios skip.
+"""
+
+from repro.sim.units import MS
+
+_CHURN_PERIOD_NS = 10 * MS
+_CHURN_TENANTS = 16
+
+
+def steady_state_plb(quick):
+    """Steady-state PLB spray: 4 cores, 70% load, uniform flows."""
+    from repro.experiments.common import ScaledPod
+    from repro.workloads.generators import CbrSource, uniform_population
+
+    duration_ns = (50 if quick else 200) * MS
+    scaled = ScaledPod(data_cores=4, per_core_pps=200_000, mode="plb", seed=1)
+    population = uniform_population(64, tenants=4)
+    rate = int(scaled.capacity_pps * 0.7)
+    CbrSource(
+        scaled.sim, scaled.rngs.stream("bench-cbr"), scaled.pod.ingress,
+        population, rate,
+    )
+    scaled.run_for(duration_ns)
+    return {
+        "events": scaled.sim.events_processed,
+        "sim_ns": scaled.sim.now,
+        "packets": scaled.pod.transmitted(),
+    }
+
+
+def microburst_reorder(quick):
+    """Microburst reorder stress: 6x bursts into 256-slot RX rings."""
+    from repro.experiments.common import ScaledPod
+    from repro.workloads.generators import uniform_population
+    from repro.workloads.microburst import MicroburstSource
+
+    duration_ns = (100 if quick else 400) * MS
+    scaled = ScaledPod(
+        data_cores=4, per_core_pps=150_000, mode="plb", seed=2,
+        rx_capacity=256,
+    )
+    population = uniform_population(128, tenants=8)
+    base_rate = int(scaled.capacity_pps * 0.6)
+    MicroburstSource(
+        scaled.sim, scaled.rngs.stream("bench-burst"), scaled.pod.ingress,
+        population, base_rate,
+        burst_factor=6.0, burst_duration_ns=5 * MS, burst_period_ns=25 * MS,
+    )
+    scaled.run_for(duration_ns)
+    return {
+        "events": scaled.sim.events_processed,
+        "sim_ns": scaled.sim.now,
+        "packets": scaled.pod.transmitted(),
+    }
+
+
+def ratelimit_churn(quick):
+    """Two-stage limiter at 90% load with pre-table promote/demote churn."""
+    from repro.core.ratelimit import TwoStageRateLimiter
+    from repro.experiments.common import ScaledPod
+    from repro.workloads.generators import CbrSource, uniform_population
+
+    duration_ns = (80 if quick else 300) * MS
+    scaled = ScaledPod(data_cores=4, per_core_pps=100_000, mode="plb", seed=3)
+    limiter = TwoStageRateLimiter(
+        scaled.rngs.stream("bench-limiter"),
+        stage1_rate_pps=40_000, stage2_rate_pps=10_000,
+    )
+    scaled.pod.nic.rate_limiter = limiter
+    population = uniform_population(64, tenants=_CHURN_TENANTS)
+    rate = int(scaled.capacity_pps * 0.9)
+    CbrSource(
+        scaled.sim, scaled.rngs.stream("bench-cbr"), scaled.pod.ingress,
+        population, rate,
+    )
+
+    state = {"vni": 0}
+
+    def churn():
+        limiter.demote(state["vni"])
+        state["vni"] = (state["vni"] + 1) % _CHURN_TENANTS
+        limiter.promote_heavy_hitter(state["vni"])
+        scaled.sim.schedule(_CHURN_PERIOD_NS, churn)
+
+    scaled.sim.schedule(_CHURN_PERIOD_NS, churn)
+    scaled.run_for(duration_ns)
+    return {
+        "events": scaled.sim.events_processed,
+        "sim_ns": scaled.sim.now,
+        "packets": scaled.pod.transmitted(),
+    }
+
+
+def fault_suite_quick(quick):
+    """Fault-injection scenarios, quick timings (always: the full-length
+    scenarios measure recovery realism, not throughput).  Quick bench
+    mode runs a two-scenario subset; full mode runs all five.
+    """
+    from repro.faults.scenarios import SCENARIOS as FAULT_SCENARIOS
+    from repro.faults.scenarios import run_scenario
+
+    if quick:
+        names = ("core-stall-plb-vs-rss", "limiter-reset")
+    else:
+        names = tuple(sorted(FAULT_SCENARIOS))
+    packets = 0
+    for name in names:
+        report = run_scenario(name, seed=11, quick=True)
+        packets += report.get("delivered_total") or 0
+    return {"events": None, "sim_ns": None, "packets": packets}
+
+
+#: Ordered (name, fn) pairs -- report order is part of the stable schema.
+SCENARIOS = (
+    ("steady-state-plb", steady_state_plb),
+    ("microburst-reorder", microburst_reorder),
+    ("ratelimit-churn", ratelimit_churn),
+    ("fault-suite-quick", fault_suite_quick),
+)

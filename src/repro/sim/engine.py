@@ -11,11 +11,27 @@ Determinism guarantees:
 * time is integer nanoseconds, so there are no float-comparison surprises;
 * ties are broken by a monotonically increasing sequence number, so two
   events scheduled for the same instant always fire in scheduling order.
+
+Hot-path notes (see DESIGN.md "Performance"):
+
+* the sanitizer is resolved **once, at construction**: a plain run binds a
+  no-check ``step`` implementation and inlined run loops, so it pays zero
+  per-event sanitizer branches;
+* ``run``/``run_until`` bind the heap and ``heapq`` primitives to locals
+  and pop directly instead of delegating to ``step`` per event;
+* same-timestamp batches write ``_now`` once per distinct timestamp.
+
+None of this changes observable behaviour: event order, ``now``,
+``events_processed`` and ``pending`` accounting are identical on the fast
+and checked paths (asserted by the engine test suite).
 """
 
 import heapq
 
 from repro.analysis.sanitizer import get_sanitizer
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 def _event_label(fn):
@@ -67,7 +83,22 @@ class Simulator:
 
     Handlers receive their ``args`` but not the simulator; components keep a
     reference to the simulator they were constructed with.
+
+    ``step`` is bound per instance at construction: the sanitized variant
+    when a sanitizer is installed, the unchecked variant otherwise.
     """
+
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_sequence",
+        "_events_processed",
+        "_live_events",
+        "_running",
+        "_stopped",
+        "_sanitizer",
+        "step",
+    )
 
     def __init__(self):
         self._now = 0
@@ -78,6 +109,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._sanitizer = get_sanitizer()
+        # Resolved once: plain runs never test the sanitizer per event.
+        self.step = self._step_checked if self._sanitizer is not None else self._step_fast
 
     @property
     def now(self):
@@ -114,7 +147,12 @@ class Simulator:
                     delay_ns=delay, now_ns=self._now, callback=_event_label(fn),
                 )
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), fn, *args)
+        time = self._now + int(delay)
+        event = Event(time, fn, args, self)
+        _heappush(self._heap, (time, self._sequence, event))
+        self._sequence += 1
+        self._live_events += 1
+        return event
 
     def schedule_at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at an absolute timestamp."""
@@ -128,8 +166,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, fn, args, sim=self)
-        heapq.heappush(self._heap, (time, self._sequence, event))
+        event = Event(time, fn, args, self)
+        _heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
         self._live_events += 1
         return event
@@ -138,21 +176,36 @@ class Simulator:
         """Stop the run loop after the current handler returns."""
         self._stopped = True
 
-    def step(self):
+    def _step_fast(self):
         """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            time, _, event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, event = _heappop(heap)
             if event.cancelled:
                 continue
             self._live_events -= 1
             event._sim = None  # a late cancel() must not decrement again
-            if self._sanitizer is not None:
-                self._sanitizer.ensure(
-                    time >= self._now, "simtime-monotonicity",
-                    f"event at t={time} popped behind now={self._now}",
-                    time_ns=time, now_ns=self._now, callback=_event_label(event.fn),
-                )
-                self._sanitizer.record_event(time, _event_label(event.fn))
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def _step_checked(self):
+        """`step` with sanitizer invariant checks and event tracing."""
+        heap = self._heap
+        while heap:
+            time, _, event = _heappop(heap)
+            if event.cancelled:
+                continue
+            self._live_events -= 1
+            event._sim = None  # a late cancel() must not decrement again
+            self._sanitizer.ensure(
+                time >= self._now, "simtime-monotonicity",
+                f"event at t={time} popped behind now={self._now}",
+                time_ns=time, now_ns=self._now, callback=_event_label(event.fn),
+            )
+            self._sanitizer.record_event(time, _event_label(event.fn))
             self._now = time
             self._events_processed += 1
             event.fn(*event.args)
@@ -166,11 +219,28 @@ class Simulator:
         self._running = True
         self._stopped = False
         try:
-            count = 0
-            while not self._stopped and self.step():
-                count += 1
-                if max_events is not None and count >= max_events:
-                    break
+            if self._sanitizer is not None or max_events is not None:
+                step = self.step
+                count = 0
+                while not self._stopped and step():
+                    count += 1
+                    if max_events is not None and count >= max_events:
+                        break
+                return
+            # Fast path: pop inline; heap and heappop bound to locals.
+            heap = self._heap
+            pop = _heappop
+            now = self._now
+            while heap and not self._stopped:
+                time, _, event = pop(heap)
+                if event.cancelled:
+                    continue
+                self._live_events -= 1
+                event._sim = None  # a late cancel() must not decrement again
+                if time != now:
+                    self._now = now = time
+                self._events_processed += 1
+                event.fn(*event.args)
         finally:
             self._running = False
 
@@ -188,27 +258,49 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        sanitizer = self._sanitizer
         try:
-            while not self._stopped and self._heap:
-                time, _, event = self._heap[0]
-                if time > end_time:
-                    break
-                heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._live_events -= 1
-                event._sim = None  # a late cancel() must not decrement again
-                if self._sanitizer is not None:
-                    self._sanitizer.ensure(
+            if sanitizer is not None:
+                while not self._stopped and self._heap:
+                    time, _, event = self._heap[0]
+                    if time > end_time:
+                        break
+                    _heappop(self._heap)
+                    if event.cancelled:
+                        continue
+                    self._live_events -= 1
+                    event._sim = None  # a late cancel() must not decrement again
+                    sanitizer.ensure(
                         time >= self._now, "simtime-monotonicity",
                         f"event at t={time} popped behind now={self._now}",
                         time_ns=time, now_ns=self._now,
                         callback=_event_label(event.fn),
                     )
-                    self._sanitizer.record_event(time, _event_label(event.fn))
-                self._now = time
-                self._events_processed += 1
-                event.fn(*event.args)
+                    sanitizer.record_event(time, _event_label(event.fn))
+                    self._now = time
+                    self._events_processed += 1
+                    event.fn(*event.args)
+            else:
+                # Fast path: pop first and push the single boundary-crossing
+                # entry back, instead of peeking the heap root every event.
+                heap = self._heap
+                pop = _heappop
+                now = self._now
+                while heap and not self._stopped:
+                    entry = pop(heap)
+                    time = entry[0]
+                    if time > end_time:
+                        _heappush(heap, entry)
+                        break
+                    event = entry[2]
+                    if event.cancelled:
+                        continue
+                    self._live_events -= 1
+                    event._sim = None  # a late cancel() must not decrement again
+                    if time != now:
+                        self._now = now = time
+                    self._events_processed += 1
+                    event.fn(*event.args)
         finally:
             self._running = False
         if not self._stopped:

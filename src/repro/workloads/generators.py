@@ -122,6 +122,9 @@ class CbrSource(_SourceBase):
     def set_rate(self, rate_pps):
         """Change the emission rate immediately."""
         self.rate_pps = rate_pps
+        # The gap is fixed until the next set_rate; computing it per tick
+        # costs a division per emitted packet.
+        self._interval = max(1, int(SECOND / rate_pps)) if rate_pps > 0 else None
         if self._next_event is not None:
             self._next_event.cancel()
             self._next_event = None
@@ -131,11 +134,8 @@ class CbrSource(_SourceBase):
         else:
             self._running = False
 
-    def _interval_ns(self):
-        return max(1, int(SECOND / self.rate_pps))
-
     def _schedule_next(self):
-        self._next_event = self.sim.schedule(self._interval_ns(), self._tick)
+        self._next_event = self.sim.schedule(self._interval, self._tick)
 
     def _tick(self):
         if not self._running:

@@ -1,0 +1,213 @@
+"""Bench harness tests: schema, baseline comparison, CLI exit codes.
+
+CLI tests monkeypatch the scenario table with fast fakes so the suite
+does not pay for real simulation runs; one smoke test runs a real quick
+scenario end-to-end.
+"""
+
+import json
+
+import pytest
+
+import repro.perf.harness as harness
+from repro.cli import build_parser, main
+from repro.perf import (
+    SCHEMA_VERSION,
+    compare_to_baseline,
+    parse_max_regress,
+    run_bench,
+)
+from repro.perf.scenarios import SCENARIOS, steady_state_plb
+
+
+def _report(**scenarios):
+    return {"schema_version": SCHEMA_VERSION, "scenarios": scenarios}
+
+
+FAKE_SCENARIOS = (
+    ("fake-fast", lambda quick: {"events": 1000, "sim_ns": 1_000_000, "packets": 100}),
+    ("fake-suite", lambda quick: {"events": None, "sim_ns": None, "packets": 0}),
+)
+
+
+@pytest.fixture
+def fake_scenarios(monkeypatch):
+    monkeypatch.setattr(harness, "SCENARIOS", FAKE_SCENARIOS)
+
+
+class TestParseMaxRegress:
+    def test_percent_suffix(self):
+        assert parse_max_regress("10%") == pytest.approx(0.10)
+
+    def test_fraction(self):
+        assert parse_max_regress("0.25") == pytest.approx(0.25)
+
+    def test_bare_number_above_one_is_percent(self):
+        assert parse_max_regress("15") == pytest.approx(0.15)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_max_regress("-5%")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_max_regress("fast")
+
+
+class TestCompareToBaseline:
+    def test_within_budget_passes(self):
+        new = _report(a={"events_per_sec": 95.0})
+        old = _report(a={"events_per_sec": 100.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
+    def test_throughput_drop_flagged(self):
+        new = _report(a={"events_per_sec": 80.0})
+        old = _report(a={"events_per_sec": 100.0})
+        regressions = compare_to_baseline(new, old, 0.10)
+        assert [r["scenario"] for r in regressions] == ["a"]
+        assert regressions[0]["metric"] == "events_per_sec"
+        assert regressions[0]["change_pct"] == pytest.approx(-20.0)
+
+    def test_throughput_gain_never_flagged(self):
+        new = _report(a={"events_per_sec": 500.0})
+        old = _report(a={"events_per_sec": 100.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
+    def test_wall_pps_fallback(self):
+        new = _report(a={"events_per_sec": None, "wall_pps": 50.0})
+        old = _report(a={"events_per_sec": None, "wall_pps": 100.0})
+        regressions = compare_to_baseline(new, old, 0.10)
+        assert regressions and regressions[0]["metric"] == "wall_pps"
+
+    def test_wall_s_fallback_flags_slowdown(self):
+        new = _report(a={"events_per_sec": None, "wall_pps": None, "wall_s": 2.0})
+        old = _report(a={"events_per_sec": None, "wall_pps": None, "wall_s": 1.0})
+        regressions = compare_to_baseline(new, old, 0.10)
+        assert regressions and regressions[0]["metric"] == "wall_s"
+
+    def test_wall_s_speedup_passes(self):
+        new = _report(a={"wall_s": 0.5})
+        old = _report(a={"wall_s": 1.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
+    def test_scenario_missing_from_baseline_skipped(self):
+        new = _report(brand_new={"events_per_sec": 1.0})
+        old = _report(a={"events_per_sec": 100.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
+
+class TestRunBench:
+    def test_schema(self, fake_scenarios):
+        report = run_bench(quick=True)
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["quick"] is True
+        assert set(report["host"]) == {
+            "python", "implementation", "platform", "machine", "cpu_count",
+        }
+        assert list(report["scenarios"]) == ["fake-fast", "fake-suite"]
+        entry = report["scenarios"]["fake-fast"]
+        assert set(entry) == {
+            "wall_s", "events", "packets", "sim_ns",
+            "events_per_sec", "sim_pps", "wall_pps",
+        }
+        assert entry["wall_s"] >= 0
+        assert entry["events_per_sec"] > 0
+        suite = report["scenarios"]["fake-suite"]
+        assert suite["events_per_sec"] is None
+        assert suite["wall_pps"] is None
+
+    def test_subset_selection(self, fake_scenarios):
+        report = run_bench(quick=True, names=["fake-suite"])
+        assert list(report["scenarios"]) == ["fake-suite"]
+
+    def test_unknown_scenario_rejected(self, fake_scenarios):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_bench(quick=True, names=["nope"])
+
+    def test_real_scenario_smoke_and_determinism(self):
+        first = steady_state_plb(quick=True)
+        second = steady_state_plb(quick=True)
+        assert first["events"] > 0
+        assert first["packets"] > 0
+        assert first["sim_ns"] > 0
+        # Wall-clock aside, the replay must be bit-identical.
+        assert first == second
+
+    def test_scenario_names_stable(self):
+        assert [name for name, _ in SCENARIOS] == [
+            "steady-state-plb",
+            "microburst-reorder",
+            "ratelimit-churn",
+            "fault-suite-quick",
+        ]
+
+
+class TestBenchCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_repro.json"
+        assert args.baseline is None
+        assert args.max_regress == "10%"
+        assert not args.quick
+
+    def test_writes_report(self, fake_scenarios, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--output", str(output)]) == 0
+        report = json.loads(output.read_text())
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert "fake-fast" in report["scenarios"]
+        assert "bench (quick mode)" in capsys.readouterr().out
+
+    def test_missing_baseline_exits_2(self, fake_scenarios, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--output", str(output),
+            "--baseline", str(tmp_path / "absent.json"),
+        ])
+        assert code == 2
+        assert "baseline file not found" in capsys.readouterr().err
+        # The bench must not have run: fail-fast before spending minutes.
+        assert not output.exists()
+
+    def test_baseline_pass(self, fake_scenarios, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--output", str(baseline)]) == 0
+        output = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--output", str(output),
+            "--baseline", str(baseline),
+        ])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_baseline_regression_exits_1(self, fake_scenarios, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        assert main(["bench", "--quick", "--output", str(baseline)]) == 0
+        inflated = json.loads(baseline.read_text())
+        inflated["scenarios"]["fake-fast"]["events_per_sec"] *= 100
+        baseline.write_text(json.dumps(inflated))
+        code = main([
+            "bench", "--quick",
+            "--output", str(tmp_path / "bench.json"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 1
+        assert "regressions beyond" in capsys.readouterr().out
+
+    def test_bad_max_regress_exits_2(self, fake_scenarios, tmp_path, capsys):
+        code = main([
+            "bench", "--quick",
+            "--output", str(tmp_path / "bench.json"),
+            "--max-regress", "fast",
+        ])
+        assert code == 2
+        assert "bad --max-regress" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, fake_scenarios, tmp_path, capsys):
+        code = main([
+            "bench", "--quick",
+            "--output", str(tmp_path / "bench.json"),
+            "--scenario", "nope",
+        ])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
