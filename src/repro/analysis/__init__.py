@@ -5,7 +5,7 @@ engine, byte-identical fault-scenario reports, the rate-limiter shape --
 rests on the simulation being deterministic and invariant-preserving.  This
 package makes those properties machine-checked:
 
-* **Linter** (``python -m repro lint``): AST rules (DET001..DET004) that
+* **Linter** (``python -m repro lint``): AST rules (DET001..DET005) that
   catch the ways determinism silently breaks -- stray ``random``/``time``
   imports, unsorted dict/set iteration feeding scheduling decisions, float
   equality on simtime, hand-rolled event heaps.  See :mod:`.rules`.

@@ -1,4 +1,4 @@
-"""The determinism rules (DET001..DET004).
+"""The determinism rules (DET001..DET005).
 
 Each rule targets one way the "same seed => byte-identical output"
 guarantee silently breaks:
@@ -14,6 +14,11 @@ guarantee silently breaks:
 * **DET004** -- hand-rolled event heaps (``heapq``, ``queue.PriorityQueue``,
   ``sched``) bypass the engine's tie-breaking sequence numbers, so
   same-timestamp events fire in undefined order.
+* **DET005** -- completion-order parallelism (``imap_unordered``,
+  ``as_completed``) yields worker results in an order that varies with
+  host load, so merged reports stop being byte-identical across runs;
+  fold results in submission order (``Pool.map`` /
+  :func:`repro.fleet.pool_map`) instead.
 """
 
 import ast
@@ -260,4 +265,39 @@ class HandRolledHeapRule(LintRule):
                 "queue.PriorityQueue is a hand-rolled event heap; schedule "
                 "via the Simulator API instead",
             )
+        self.generic_visit(node)
+
+
+@register
+class CompletionOrderRule(LintRule):
+    """DET005: merge parallel results in submission order."""
+
+    code = "DET005"
+    summary = (
+        "no completion-order parallelism (imap_unordered/as_completed); "
+        "fold worker results in submission order (Pool.map or "
+        "repro.fleet.pool_map)"
+    )
+    FORBIDDEN_NAMES = frozenset({"imap_unordered", "as_completed"})
+
+    def _message(self, name):
+        return (
+            f"'{name}' yields results in completion order, which varies "
+            f"with host load; merged output stops being byte-identical "
+            f"across worker counts -- use an order-preserving map "
+            f"(Pool.map / repro.fleet.pool_map)"
+        )
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in self.FORBIDDEN_NAMES:
+            self.report(node, self._message(func.attr))
+        elif isinstance(func, ast.Name) and func.id in self.FORBIDDEN_NAMES:
+            self.report(node, self._message(func.id))
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        for alias in node.names:
+            if alias.name in self.FORBIDDEN_NAMES:
+                self.report(node, self._message(alias.name))
         self.generic_visit(node)

@@ -15,11 +15,15 @@ Commands:
   ``BENCH_repro.json``.  With ``--baseline`` it exits 1 when any scenario
   regresses more than ``--max-regress`` (default 10%), 2 when the
   baseline file is missing.
+* ``sweep`` -- shard a named parameter sweep (:mod:`repro.fleet`)
+  across worker processes and write the merged ``SWEEP_repro.json``;
+  the merged report is byte-identical for any ``--workers`` count.
 * ``lint`` -- run the determinism linter (:mod:`repro.analysis`) over
   source trees; exits 1 on findings.
 * ``sanitize`` -- run fault scenario(s) with the runtime sanitizer's
   invariant checks enabled; exits 1 on a violation.
-* ``inventory`` -- list the available experiments and gateway services.
+* ``inventory`` -- list the unified scenario registry: scenarios,
+  sweeps, fault scenarios, experiments and gateway services.
 """
 
 import argparse
@@ -33,6 +37,12 @@ FAULT_SCENARIOS = (
     "core-stall-plb-vs-rss",
     "limiter-reset",
     "pod-crash-reschedule",
+)
+
+# Kept in sync with repro.fleet.sweeps.SWEEP_FACTORIES (asserted by tests).
+SWEEPS = (
+    "tenant-scaling",
+    "seed-replication",
 )
 
 
@@ -102,9 +112,35 @@ def build_parser():
         "--scenario", action="append", dest="scenarios", metavar="NAME",
         help="run only this scenario (repeatable)",
     )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="replicate each scenario N times, keep the best wall time",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --repeat replications (0 = auto)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep", help="run a sharded parameter sweep across workers"
+    )
+    sweep.add_argument("name", choices=SWEEPS, help="named sweep")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = auto); the report is byte-identical "
+             "for any count",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="smaller axis / fewer shards"
+    )
+    sweep.add_argument("--seed", type=int, default=42)
+    sweep.add_argument(
+        "--output", default="SWEEP_repro.json",
+        help="merged report path (default: SWEEP_repro.json)",
+    )
 
     lint = commands.add_parser(
-        "lint", help="run the determinism linter (DET001..DET004)"
+        "lint", help="run the determinism linter (DET001..DET005)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -132,25 +168,25 @@ def build_parser():
 
 
 def cmd_simulate(args):
-    from repro.core.gateway import AlbatrossServer, PodConfig
-    from repro.sim.engine import Simulator
-    from repro.sim.rng import RngRegistry
+    from repro.scenarios import PodSpec, ScenarioSpec, WorkloadSpec, build
     from repro.sim.units import MS, US
-    from repro.workloads.generators import CbrSource, uniform_population
 
-    sim = Simulator()
-    rngs = RngRegistry(seed=args.seed)
-    server = AlbatrossServer(sim, rngs)
-    pod = server.add_pod(
-        PodConfig(name="cli-pod", data_cores=args.cores, mode=args.mode,
-                  service=args.service)
+    spec = ScenarioSpec(
+        name="cli-simulate",
+        pods=(
+            PodSpec(name="cli-pod", data_cores=args.cores, mode=args.mode,
+                    service=args.service),
+        ),
+        workload=WorkloadSpec(
+            kind="cbr", flows=args.flows, tenants=args.tenants,
+            load=args.load, stream="traffic",
+        ),
+        duration_ns=args.duration_ms * MS,
+        seed=args.seed,
     )
-    capacity = pod.expected_capacity_mpps() * 1e6
-    rate = int(capacity * args.load)
-    population = uniform_population(args.flows, tenants=args.tenants)
-    CbrSource(sim, rngs.stream("traffic"), pod.ingress, population, rate_pps=rate)
-    duration_ns = args.duration_ms * MS
-    sim.run_until(duration_ns)
+    handle = build(spec).run()
+    pod = handle.pod
+    rate = int(handle.capacity_pps() * args.load)
 
     histogram = pod.latency_histogram
     stats = pod.reorder_stats
@@ -235,7 +271,10 @@ def cmd_bench(args):
             baseline = json.load(handle)
 
     try:
-        report = run_bench(quick=args.quick, names=args.scenarios)
+        report = run_bench(
+            quick=args.quick, names=args.scenarios,
+            repeat=args.repeat, workers=args.workers,
+        )
     except ValueError as error:
         print(str(error), file=sys.stderr)
         return 2
@@ -304,7 +343,19 @@ def cmd_sanitize(args):
 def cmd_inventory(_args):
     from repro.cpu.service import standard_services
     from repro.experiments.runner import all_experiments
+    from repro.faults.scenarios import scenario_descriptions as fault_descriptions
+    from repro.fleet import sweep_descriptions
+    from repro.scenarios import scenario_descriptions
 
+    print("scenarios:")
+    for name, blurb in scenario_descriptions().items():
+        print(f"  {name}: {blurb}")
+    print("sweeps:")
+    for name, blurb in sweep_descriptions().items():
+        print(f"  {name}: {blurb}")
+    print("fault scenarios:")
+    for name, blurb in fault_descriptions().items():
+        print(f"  {name}: {blurb}")
     print("experiments:")
     for name, _fn in all_experiments():
         print(f"  {name}")
@@ -315,6 +366,20 @@ def cmd_inventory(_args):
     return 0
 
 
+def cmd_sweep(args):
+    from repro.fleet import (
+        build_sweep, default_workers, run_sweep, write_sweep_report,
+    )
+
+    shards = build_sweep(args.name, quick=args.quick, seed=args.seed)
+    workers = args.workers if args.workers > 0 else default_workers()
+    report = run_sweep(args.name, shards, workers=workers, seed=args.seed)
+    write_sweep_report(report, args.output)
+    print(f"sweep {args.name}: {len(shards)} shard(s) -> {args.output}")
+    print(report.render())
+    return 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     handlers = {
@@ -322,6 +387,7 @@ def main(argv=None):
         "experiment": cmd_experiment,
         "faults": cmd_faults,
         "bench": cmd_bench,
+        "sweep": cmd_sweep,
         "lint": cmd_lint,
         "sanitize": cmd_sanitize,
         "inventory": cmd_inventory,

@@ -3,14 +3,15 @@
 Experiments run *scaled down*: the paper's 88-core, 120 Mpps server
 becomes a handful of cores at ~0.1-1 Mpps each, with every ratio that
 matters (load fraction, heavy-hitter multiple, cache-to-table ratio,
-timeout-to-service-time ratio) preserved.  ``ScaledPod`` centralizes that
-scaling so each experiment states only its paper-level parameters.
+timeout-to-service-time ratio) preserved.  The scaling discipline lives
+in :func:`repro.scenarios.scaled_service`; :class:`ScaledPod` is kept as
+a thin deprecation shim over :func:`repro.scenarios.build` so older
+experiments keep working while new code states a
+:class:`~repro.scenarios.ScenarioSpec` directly.
 """
 
-from repro.core.gateway import AlbatrossServer, PodConfig
-from repro.cpu.service import GatewayService, LookupSpec
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngRegistry
+from repro.scenarios import PodSpec, ScenarioSpec, build
+from repro.scenarios import scaled_service  # noqa: F401  (compat re-export)
 
 
 class ExperimentResult:
@@ -29,6 +30,13 @@ class ExperimentResult:
     def rows(self):
         return list(self._rows)
 
+    def to_dict(self):
+        return {
+            "experiment": self.name,
+            "rows": self.rows(),
+            "meta": dict(self.meta),
+        }
+
     def column(self, key):
         return [row[key] for row in self._rows]
 
@@ -43,12 +51,23 @@ class ExperimentResult:
 
 
 def format_table(rows):
-    """Render a list of dicts as an aligned text table."""
+    """Render a list of dicts as an aligned text table.
+
+    Columns are the union of all row keys, in first-seen order, so rows
+    with differing shapes (e.g. merged sweep rows next to per-shard
+    rows) still line up.  A key a row lacks renders as ``-``; an
+    explicit ``None`` value still renders as ``None``.
+    """
     if not rows:
         return "(no rows)"
-    columns = list(rows[0].keys())
+    columns = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
     rendered = [
-        {col: _fmt(row.get(col)) for col in columns} for row in rows
+        {col: _fmt(row[col]) if col in row else "-" for col in columns}
+        for row in rows
     ]
     widths = {
         col: max(len(col), *(len(row[col]) for row in rendered)) for col in columns
@@ -67,25 +86,12 @@ def _fmt(value):
     return str(value)
 
 
-def scaled_service(name="scaled", per_core_pps=100_000, lookups=4):
-    """A synthetic service whose saturated per-core rate is ``per_core_pps``.
-
-    Uses the analytic 35% hit-rate lookup cost to solve for base_ns, so the
-    paper-level per-core ratios carry over exactly at laptop packet rates.
-    """
-    from repro.cpu.service import MemoryTimings
-
-    timings = MemoryTimings()
-    lookup_ns = timings.expected_lookup_ns(0.35)
-    total_ns = 1e9 / per_core_pps
-    base_ns = max(1, int(total_ns - lookups * lookup_ns))
-    specs = [LookupSpec(f"table{i}", 1_000_000, 256) for i in range(lookups)]
-    return GatewayService(name, base_ns, specs)
-
-
 class ScaledPod:
-    """A GW pod plus simulator, ready for workload injection.
+    """Deprecated: a GW pod plus simulator, ready for workload injection.
 
+    A shim over :func:`repro.scenarios.build` kept for existing
+    experiments; new code should construct a
+    :class:`~repro.scenarios.ScenarioSpec` and call ``build`` directly.
     Parameters mirror :class:`~repro.core.gateway.PodConfig` but with a
     synthetic service calibrated to ``per_core_pps``.
     """
@@ -107,30 +113,41 @@ class ScaledPod:
         numa_node=None,
         memory_node=None,
     ):
-        self.sim = Simulator()
-        self.rngs = RngRegistry(seed=seed)
-        self.server = AlbatrossServer(self.sim, self.rngs)
-        self.per_core_pps = per_core_pps
-        config = PodConfig(
-            name="pod",
-            data_cores=data_cores,
-            mode=mode,
-            reorder_queues=reorder_queues,
-            rate_limiter=rate_limiter,
-            drop_flag_enabled=drop_flag_enabled,
-            acl_drop_probability=acl_drop_probability,
-            silent_drop_probability=silent_drop_probability,
-            jitter=jitter,
-            rx_capacity=rx_capacity,
-            numa_node=numa_node,
-            memory_node=memory_node,
-            custom_service=scaled_service(per_core_pps=per_core_pps, lookups=lookups),
+        extras = {}
+        if rate_limiter is not None:
+            extras["rate_limiter"] = rate_limiter
+        if jitter is not None:
+            extras["jitter"] = jitter
+        spec = ScenarioSpec(
+            name="scaled-pod",
+            pods=(
+                PodSpec(
+                    name="pod",
+                    data_cores=data_cores,
+                    mode=mode,
+                    per_core_pps=per_core_pps,
+                    lookups=lookups,
+                    reorder_queues=reorder_queues,
+                    rx_capacity=rx_capacity,
+                    drop_flag_enabled=drop_flag_enabled,
+                    acl_drop_probability=acl_drop_probability,
+                    silent_drop_probability=silent_drop_probability,
+                    numa_node=numa_node,
+                    memory_node=memory_node,
+                ),
+            ),
+            seed=seed,
         )
-        self.pod = self.server.add_pod(config)
+        self._handle = build(spec, pod_extras={"pod": extras})
+        self.sim = self._handle.sim
+        self.rngs = self._handle.rngs
+        self.server = self._handle.server
+        self.per_core_pps = per_core_pps
+        self.pod = self._handle.pod
 
     @property
     def capacity_pps(self):
-        return self.per_core_pps * self.pod.config.data_cores
+        return self._handle.capacity_pps()
 
     def run_for(self, duration_ns):
         self.sim.run_until(self.sim.now + duration_ns)

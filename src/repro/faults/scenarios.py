@@ -30,13 +30,13 @@ Scenarios:
 from repro.bgp.bfd import BfdLink
 from repro.container.elasticity import ElasticityManager
 from repro.container.scheduler import FleetScheduler, ServerSpec
-from repro.core.gateway import AlbatrossServer, PodConfig
+from repro.core.gateway import PodConfig
 from repro.core.ratelimit import TwoStageRateLimiter
 from repro.core.watchdog import FpgaWatchdog
 from repro.faults.injector import FaultInjector, FaultTargets, SteadyStateTracker
 from repro.faults.plan import Fault, FaultKind, FaultPlan
 from repro.metrics.counters import CounterSet
-from repro.sim.engine import Simulator
+from repro.scenarios import PodSpec, ScenarioSpec, build
 from repro.sim.rng import RngRegistry
 from repro.sim.units import MS, SECOND, US
 from repro.workloads.generators import CbrSource, uniform_population
@@ -79,6 +79,17 @@ class ScenarioReport:
         lines.extend(f"  {key}: {_fmt(self.values[key])}" for key in self._order)
         return "\n".join(lines)
 
+    def to_dict(self):
+        return {
+            "scenario": self.name,
+            "seed": self.seed,
+            **{key: self.values[key] for key in self._order},
+        }
+
+    def rows(self):
+        """The common one-row-per-report shape (see ``format_table``)."""
+        return [self.to_dict()]
+
 
 def _add_headline(report, record):
     """The three metrics every scenario must report."""
@@ -99,10 +110,14 @@ def pod_crash_reschedule(seed=42, quick=False):
     window_ns = 20 * MS if quick else 250 * MS
     run_ns = crash_at + 300 * MS + prepare_ns + (350 * MS if quick else 2 * SECOND)
 
-    sim = Simulator()
-    rngs = RngRegistry(seed=seed)
-    server = AlbatrossServer(sim, rngs)
-    pod = server.add_pod(PodConfig(name="gw-a", data_cores=4))
+    handle = build(ScenarioSpec(
+        name="pod-crash-reschedule",
+        pods=(PodSpec(name="gw-a", data_cores=4),),
+        duration_ns=run_ns,
+        seed=seed,
+    ))
+    sim, rngs, server = handle.sim, handle.rngs, handle.server
+    pod = handle.pods["gw-a"]
 
     fleet = FleetScheduler([ServerSpec("server-0"), ServerSpec("server-1")])
     fleet.place_pod("gw-a", cores=6)
@@ -165,7 +180,7 @@ def pod_crash_reschedule(seed=42, quick=False):
     targets.link = link
 
     injector.load(FaultPlan([Fault(FaultKind.POD_CRASH, crash_at, duration_ns=None)]))
-    sim.run_until(run_ns)
+    handle.run()
 
     report = ScenarioReport("pod-crash-reschedule", seed)
     report.records = injector.records
@@ -197,17 +212,17 @@ def core_stall_plb_vs_rss(seed=42, quick=False):
     window_ns = 20 * MS if quick else 50 * MS
     run_ns = stall_at + stall_ns + (200 * MS if quick else 700 * MS)
 
-    sim = Simulator()
-    rngs = RngRegistry(seed=seed)
-    server = AlbatrossServer(sim, rngs)
-    pods = {
-        "plb": server.add_pod(
-            PodConfig(name="plb-pod", data_cores=4, mode="plb", rx_capacity=64)
+    handle = build(ScenarioSpec(
+        name="core-stall-plb-vs-rss",
+        pods=(
+            PodSpec(name="plb-pod", data_cores=4, mode="plb", rx_capacity=64),
+            PodSpec(name="rss-pod", data_cores=4, mode="rss", rx_capacity=64),
         ),
-        "rss": server.add_pod(
-            PodConfig(name="rss-pod", data_cores=4, mode="rss", rx_capacity=64)
-        ),
-    }
+        duration_ns=run_ns,
+        seed=seed,
+    ))
+    sim, rngs = handle.sim, handle.rngs
+    pods = {"plb": handle.pods["plb-pod"], "rss": handle.pods["rss-pod"]}
 
     population = uniform_population(128, tenants=8)
     injectors, trackers, marks = {}, {}, {}
@@ -242,7 +257,7 @@ def core_stall_plb_vs_rss(seed=42, quick=False):
         stall_at + 10 * US, injectors["plb"].note_detected, FaultKind.CORE_STALL
     )
 
-    sim.run_until(run_ns)
+    handle.run()
 
     report = ScenarioReport("core-stall-plb-vs-rss", seed)
     for mode, pod in pods.items():
@@ -278,7 +293,10 @@ def bfd_flap(seed=42, quick=False):
     window_ns = 250 * MS
     run_ns = 1400 * MS if quick else 2 * SECOND
 
-    sim = Simulator()
+    # Control-plane only: the spec declares no pods, so build() yields
+    # just the seeded simulator to hang the BFD machinery on.
+    handle = build(ScenarioSpec(name="bfd-flap", duration_ns=run_ns, seed=seed))
+    sim = handle.sim
     targets = FaultTargets()
     injector = FaultInjector(sim, targets)
 
@@ -299,7 +317,7 @@ def bfd_flap(seed=42, quick=False):
     )
 
     injector.load(FaultPlan([Fault(FaultKind.LINK_FLAP, flap_at, flap_ns)]))
-    sim.run_until(run_ns)
+    handle.run()
 
     report = ScenarioReport("bfd-flap", seed)
     report.records = injector.records
@@ -331,8 +349,8 @@ def limiter_reset(seed=42, quick=False):
     heavy_pps = 5_000
     background = ((11, 800), (12, 800))
 
-    sim = Simulator()
-    rngs = RngRegistry(seed=seed)
+    handle = build(ScenarioSpec(name="limiter-reset", duration_ns=run_ns, seed=seed))
+    sim, rngs = handle.sim, handle.rngs
     limiter = TwoStageRateLimiter(
         rngs.stream("limiter.sampler"), stage1_rate_pps=2_000, stage2_rate_pps=500
     )
@@ -372,7 +390,7 @@ def limiter_reset(seed=42, quick=False):
         lambda: promoted_before.__setitem__("value", limiter.promotions),
     )
     injector.load(FaultPlan([Fault(FaultKind.LIMITER_SRAM, corrupt_at, 0)]))
-    sim.run_until(run_ns)
+    handle.run()
 
     report = ScenarioReport("limiter-reset", seed)
     report.records = injector.records
@@ -398,18 +416,27 @@ def chaos(seed=42, quick=False):
     fault_count = 4 if quick else 6
     rate_pps = 20_000
 
-    sim = Simulator()
+    # The live limiter (a non-scalar) rides in through pod_extras; the
+    # registry is built first so the limiter's sampler stream exists
+    # before build() wires the pod.
     rngs = RngRegistry(seed=seed)
     limiter = TwoStageRateLimiter(
         rngs.stream("limiter.sampler"),
         stage1_rate_pps=15_000,
         stage2_rate_pps=5_000,
     )
-    server = AlbatrossServer(sim, rngs)
-    pod = server.add_pod(
-        PodConfig(name="gw-chaos", data_cores=4, rate_limiter=limiter,
-                  rx_capacity=256)
+    handle = build(
+        ScenarioSpec(
+            name="chaos",
+            pods=(PodSpec(name="gw-chaos", data_cores=4, rx_capacity=256),),
+            duration_ns=run_ns,
+            seed=seed,
+        ),
+        rngs=rngs,
+        pod_extras={"gw-chaos": {"rate_limiter": limiter}},
     )
+    sim = handle.sim
+    pod = handle.pods["gw-chaos"]
 
     targets = FaultTargets(
         nic=pod.nic, pod=pod, cores=pod.cores, limiter=limiter
@@ -449,7 +476,7 @@ def chaos(seed=42, quick=False):
         core_count=len(pod.cores),
     )
     injector.load(plan)
-    sim.run_until(run_ns)
+    handle.run()
 
     report = ScenarioReport("chaos", seed)
     report.records = injector.records
@@ -475,6 +502,14 @@ SCENARIOS = {
     "limiter-reset": limiter_reset,
     "chaos": chaos,
 }
+
+
+def scenario_descriptions():
+    """{name: first docstring line} for ``inventory``."""
+    return {
+        name: (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+        for name in sorted(SCENARIOS)
+    }
 
 
 def run_scenario(name, seed=42, quick=False):

@@ -1,0 +1,111 @@
+"""The multi-process sweep engine.
+
+``run_sweep`` fans a list of shards out over a ``multiprocessing`` pool
+and folds the per-shard run reports into one fleet-level
+:class:`~repro.fleet.report.SweepReport`.  The correctness bar is
+strict: **the merged report is byte-identical whether the sweep ran on
+1 worker or N.**  Three rules make that hold:
+
+* Workers receive only serialized specs (``ShardSpec.to_dict``) and
+  return only the plain-data run report -- no live simulator state ever
+  crosses a process boundary, so a shard computes the same report
+  in-process (``workers=1`` runs without a pool) or in a worker.
+* Results come back via ``Pool.map``, which returns them in
+  **submission order** regardless of completion order; the merge then
+  folds shard 0, 1, 2, ... identically under any worker count (the
+  determinism linter's DET005 bans the completion-order APIs).
+* The report carries no wall-clock, host, or pid fields -- wall time is
+  printed by the CLI, never written into the artifact.
+
+What may run in a worker: pure simulation from a spec.  What must stay
+in the parent: merging (reservoir thinning draws from the parent's
+merge rng), report rendering, and anything that touches the ordering of
+shards.
+"""
+
+import multiprocessing
+import os
+
+from repro.fleet.report import SweepReport, merge_run_reports
+from repro.scenarios.build import build
+from repro.scenarios.spec import ScenarioSpec
+
+
+def run_shard(payload):
+    """Worker entry point: run one serialized shard, return plain data.
+
+    Top-level (picklable) and dependent only on its payload, so the
+    result is identical no matter which process runs it.
+    """
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    report = build(spec).run().report()
+    return {"index": payload["index"], "axes": payload["axes"], "report": report}
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits sys.path); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _export_import_path():
+    """Make ``repro`` importable in spawn-started workers.
+
+    Fork children inherit ``sys.path``; spawn children only inherit the
+    environment, so runs driven from a source tree (``PYTHONPATH=src``)
+    need the package root exported explicitly.
+    """
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+
+
+def pool_map(fn, payloads, workers):
+    """Order-preserving parallel map (the bench harness reuses this).
+
+    ``workers <= 1`` runs inline -- same code path, no pool -- so a
+    parallel run can always be cross-checked against a serial one.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1:
+        return [fn(payload) for payload in payloads]
+    _export_import_path()
+    context = _pool_context()
+    processes = min(workers, len(payloads))
+    with context.Pool(processes=processes) as pool:
+        return pool.map(fn, payloads)
+
+
+def run_sweep(name, shards, workers=1, seed=42):
+    """Run ``shards`` across ``workers`` processes; return a SweepReport."""
+    if not shards:
+        raise ValueError("a sweep needs at least one shard")
+    payloads = [shard.to_dict() for shard in shards]
+    results = pool_map(run_shard, payloads, workers)
+    merged = merge_run_reports(
+        [result["report"] for result in results], seed=seed
+    )
+    return SweepReport(name=name, seed=seed, shard_results=results, merged=merged)
+
+
+def sweep_to_json(report):
+    """Canonical byte layout for the sweep artifact."""
+    import json
+
+    return json.dumps(report.to_dict(), indent=2) + "\n"
+
+
+def write_sweep_report(report, path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(sweep_to_json(report))
+
+
+def default_workers():
+    """A conservative default worker count for ``--workers 0`` (auto)."""
+    count = os.cpu_count() or 1
+    return max(1, min(8, count - 1))

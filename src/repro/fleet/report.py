@@ -1,0 +1,158 @@
+"""Fleet-level merging and the ``SweepReport`` artifact.
+
+Per-shard run reports (see :meth:`repro.scenarios.build.RunHandle.report`)
+are folded into one fleet view with the same machinery single runs use:
+:meth:`LatencyHistogram.merge` for latency (aggregate-exact, reservoir
+approximate) and :class:`CounterSet` for counters.  Merging is strictly
+shard-order: the engine hands reports over in submission order, so the
+merged artifact is byte-identical under any worker count.
+
+``SweepReport`` follows the repo-wide tabular convention: ``to_dict()``
+for the JSON artifact and ``rows()`` (list of flat dicts) for tooling
+and :func:`repro.experiments.common.format_table`.
+"""
+
+from repro.metrics.counters import CounterSet
+from repro.metrics.histogram import LatencyHistogram
+from repro.sim.units import US
+
+SCHEMA_VERSION = 1
+
+#: Percentiles carried in latency summaries (label, fraction).
+_PERCENTILES = (("p50_ns", 0.50), ("p90_ns", 0.90), ("p99_ns", 0.99))
+
+
+def summarize_histogram(histogram):
+    """Deterministic scalar summary of a latency histogram."""
+    summary = {
+        "count": histogram.count,
+        "mean_ns": round(histogram.mean_ns, 3),
+        "min_ns": histogram.min_ns,
+        "max_ns": histogram.max_ns,
+    }
+    for label, fraction in _PERCENTILES:
+        summary[label] = histogram.percentile(fraction) if histogram.count else 0
+    return summary
+
+
+def merge_run_reports(run_reports, seed=42):
+    """Fold per-shard run reports into the fleet-level aggregate."""
+    histogram = LatencyHistogram(seed=seed)
+    counters = CounterSet()
+    outcomes = CounterSet()
+    packets = 0
+    events = 0
+    sim_ns = 0
+    for report in run_reports:
+        events += report["events"]
+        sim_ns += report["sim_ns"]
+        for pod in report["pods"].values():
+            packets += pod["transmitted"]
+            for name, value in pod["counters"].items():
+                counters.incr(name, value)
+            for name, value in pod["outcomes"].items():
+                outcomes.incr(name, value)
+            histogram.merge(LatencyHistogram.from_dict(pod["latency"]))
+    return {
+        "shards": len(run_reports),
+        "packets": packets,
+        "events": events,
+        "sim_ns_total": sim_ns,
+        "latency": summarize_histogram(histogram),
+        "counters": dict(sorted(counters.snapshot().items())),
+        "outcomes": dict(sorted(outcomes.snapshot().items())),
+    }
+
+
+def _shard_row(result):
+    """Flatten one shard result into a table row."""
+    report = result["report"]
+    pods = report["pods"]
+    transmitted = sum(pod["transmitted"] for pod in pods.values())
+    row = {"shard": result["index"]}
+    row.update(result["axes"])
+    row["seed"] = report["seed"]
+    row["packets"] = transmitted
+    row["events"] = report["events"]
+    latencies = [
+        LatencyHistogram.from_dict(pod["latency"]) for pod in pods.values()
+    ]
+    merged = latencies[0] if len(latencies) == 1 else _merge_all(latencies)
+    if merged.count:
+        row["mean_us"] = round(merged.mean_ns / US, 2)
+        row["p99_us"] = round(merged.percentile(0.99) / US, 2)
+    else:
+        row["mean_us"] = row["p99_us"] = 0.0
+    return row
+
+
+def _merge_all(histograms):
+    base = histograms[0]
+    for other in histograms[1:]:
+        base.merge(other)
+    return base
+
+
+class SweepReport:
+    """The merged result of a sweep, with the common tabular shape."""
+
+    def __init__(self, name, seed, shard_results, merged):
+        self.name = name
+        self.seed = seed
+        self.shard_results = list(shard_results)
+        self.merged = merged
+
+    def rows(self):
+        """One flat dict per shard (axes become columns)."""
+        return [_shard_row(result) for result in self.shard_results]
+
+    def to_dict(self):
+        """The JSON artifact: shard summaries + the fleet aggregate.
+
+        Deliberately excludes worker count, wall time, host facts and
+        raw reservoir samples: everything in the artifact is a function
+        of (spec, seed) alone, so ``--workers 1`` and ``--workers N``
+        write identical bytes.
+        """
+        shards = []
+        for result, row in zip(self.shard_results, self.rows()):
+            entry = dict(row)
+            entry["scenario"] = result["report"]["scenario"]
+            entry["duration_ns"] = result["report"]["duration_ns"]
+            shards.append(entry)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "sweep": self.name,
+            "seed": self.seed,
+            "shards": shards,
+            "merged": self.merged,
+        }
+
+    def render(self):
+        """Human table: per-shard rows plus the merged headline."""
+        from repro.experiments.common import format_table
+
+        merged = self.merged
+        latency = merged["latency"]
+        lines = [
+            f"sweep: {self.name} (seed {self.seed}, "
+            f"{merged['shards']} shard(s))",
+            format_table(self.rows()),
+            f"  fleet: {merged['packets']} packets, {merged['events']} events",
+        ]
+        if latency["count"]:
+            lines.append(
+                f"  latency: mean {latency['mean_ns'] / US:.1f} us / "
+                f"p99 {latency['p99_ns'] / US:.1f} us / "
+                f"max {latency['max_ns'] / US:.1f} us"
+            )
+        drops = {
+            name: value
+            for name, value in merged["counters"].items()
+            if name.endswith("_drops") and value
+        }
+        lines.append(f"  drops: {drops or 'none'}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"<SweepReport {self.name}: {len(self.shard_results)} shard(s)>"

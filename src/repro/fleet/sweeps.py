@@ -1,0 +1,75 @@
+"""Named sweeps: ``python -m repro sweep <name>``.
+
+Each sweep is a factory ``fn(quick, seed) -> [ShardSpec, ...]`` over
+specs from the unified scenario registry:
+
+* ``tenant-scaling`` -- the fleet headline: the same 4-core PLB pod
+  swept across tenant populations, 1k up to 1M simulated tenants (quick
+  mode spans 1k-50k but still covers >= 100k tenants *in total*, the CI
+  smoke bar).  Per-flow state, limiter pressure and histogram shape all
+  scale with the axis while the offered load fraction stays fixed.
+* ``seed-replication`` -- the steady-state bench scenario replicated
+  under independently derived seeds: the cheap way to tell a real
+  regression from seed luck, and the fleet engine's own determinism
+  canary (every replica is a byte-stable sub-run).
+"""
+
+from repro.fleet.shard import ShardSpec, replicate, shard_seed
+from repro.scenarios.registry import scenario_spec
+
+#: Tenants per shard.  Quick totals 100k (the CI smoke floor); full
+#: mode reaches the paper's million-tenant scale on the last shard.
+TENANT_AXIS_QUICK = (1_000, 5_000, 14_000, 30_000, 50_000)
+TENANT_AXIS_FULL = (1_000, 10_000, 100_000, 1_000_000)
+
+
+def tenant_scaling(quick=False, seed=42):
+    """Tenant-scaling shards: one flow per tenant, fixed load fraction."""
+    axis = TENANT_AXIS_QUICK if quick else TENANT_AXIS_FULL
+    base = scenario_spec("fleet-steady", quick=quick)
+    shards = []
+    for index, tenants in enumerate(axis):
+        spec = base.with_overrides(
+            seed=shard_seed(seed, index),
+            overrides={
+                "workload.tenants": tenants,
+                "workload.flows": tenants,
+            },
+        )
+        shards.append(ShardSpec(index, {"tenants": tenants}, spec))
+    return shards
+
+
+def seed_replication(quick=False, seed=42):
+    """The steady-state scenario under independently derived seeds."""
+    base = scenario_spec("steady-state-plb", quick=quick)
+    return replicate(base, count=4 if quick else 8, seed=seed)
+
+
+#: Ordered (name, factory) pairs; listing order is the inventory order.
+SWEEP_FACTORIES = (
+    ("tenant-scaling", tenant_scaling),
+    ("seed-replication", seed_replication),
+)
+
+
+def sweep_names():
+    return tuple(name for name, _ in SWEEP_FACTORIES)
+
+
+def build_sweep(name, quick=False, seed=42):
+    """Shards for the named sweep (``ValueError`` on a typo)."""
+    for key, factory in SWEEP_FACTORIES:
+        if key == name:
+            return factory(quick=quick, seed=seed)
+    raise ValueError(
+        f"unknown sweep {name!r}; choose from {', '.join(sweep_names())}"
+    )
+
+
+def sweep_descriptions():
+    """{name: first docstring line} for ``inventory``."""
+    return {
+        name: (factory.__doc__ or "").strip().splitlines()[0]
+        for name, factory in SWEEP_FACTORIES
+    }

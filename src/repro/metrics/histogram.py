@@ -193,6 +193,45 @@ class LatencyHistogram:
             result[upper] = count
         return result
 
+    def to_dict(self):
+        """Serializable state (the fleet's cross-process wire format).
+
+        Carries the exact aggregates plus the retained reservoir, so
+        ``from_dict(h.to_dict())`` merges identically to merging ``h``
+        itself.  The reservoir rng state is *not* carried: the merging
+        side owns reservoir thinning, exactly as in :meth:`merge`.
+        """
+        return {
+            "bucket_factor": self.bucket_factor,
+            "max_samples": self.max_samples,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "bucket_counts": list(self._bucket_counts),
+            "samples": list(self._samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data, seed=1):
+        """Rebuild a histogram serialized by :meth:`to_dict`."""
+        histogram = cls(
+            bucket_factor=data["bucket_factor"],
+            max_samples=data["max_samples"],
+            seed=seed,
+        )
+        histogram._count = data["count"]
+        histogram._sum = data["sum"]
+        histogram._min = data["min"]
+        histogram._max = data["max"]
+        histogram._bucket_counts = list(data["bucket_counts"])
+        if len(histogram._bucket_counts) < 2:
+            histogram._bucket_counts.extend(
+                [0] * (2 - len(histogram._bucket_counts))
+            )
+        histogram._samples = list(data["samples"])
+        return histogram
+
     def merge(self, other):
         """Fold another histogram into this one.
 

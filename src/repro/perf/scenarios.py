@@ -1,7 +1,8 @@
 """Canonical benchmark scenarios.
 
-Each scenario is a function ``fn(quick)`` that builds a fresh simulator,
-drives a workload chosen to stress one hot path, and returns raw volume
+Each scenario is a function ``fn(quick)`` that builds a fresh simulator
+from the unified registry (:mod:`repro.scenarios.registry`), drives a
+workload chosen to stress one hot path, and returns raw volume
 numbers::
 
     {"events": <engine events processed>,   # None if not meaningful
@@ -30,72 +31,40 @@ _CHURN_PERIOD_NS = 10 * MS
 _CHURN_TENANTS = 16
 
 
+def _volume(handle):
+    """The raw numbers the harness times, from a finished handle."""
+    return {
+        "events": handle.sim.events_processed,
+        "sim_ns": handle.sim.now,
+        "packets": handle.pod.transmitted(),
+    }
+
+
 def steady_state_plb(quick):
     """Steady-state PLB spray: 4 cores, 70% load, uniform flows."""
-    from repro.experiments.common import ScaledPod
-    from repro.workloads.generators import CbrSource, uniform_population
+    from repro.scenarios import build, scenario_spec
 
-    duration_ns = (50 if quick else 200) * MS
-    scaled = ScaledPod(data_cores=4, per_core_pps=200_000, mode="plb", seed=1)
-    population = uniform_population(64, tenants=4)
-    rate = int(scaled.capacity_pps * 0.7)
-    CbrSource(
-        scaled.sim, scaled.rngs.stream("bench-cbr"), scaled.pod.ingress,
-        population, rate,
-    )
-    scaled.run_for(duration_ns)
-    return {
-        "events": scaled.sim.events_processed,
-        "sim_ns": scaled.sim.now,
-        "packets": scaled.pod.transmitted(),
-    }
+    return _volume(build(scenario_spec("steady-state-plb", quick=quick)).run())
 
 
 def microburst_reorder(quick):
     """Microburst reorder stress: 6x bursts into 256-slot RX rings."""
-    from repro.experiments.common import ScaledPod
-    from repro.workloads.generators import uniform_population
-    from repro.workloads.microburst import MicroburstSource
+    from repro.scenarios import build, scenario_spec
 
-    duration_ns = (100 if quick else 400) * MS
-    scaled = ScaledPod(
-        data_cores=4, per_core_pps=150_000, mode="plb", seed=2,
-        rx_capacity=256,
-    )
-    population = uniform_population(128, tenants=8)
-    base_rate = int(scaled.capacity_pps * 0.6)
-    MicroburstSource(
-        scaled.sim, scaled.rngs.stream("bench-burst"), scaled.pod.ingress,
-        population, base_rate,
-        burst_factor=6.0, burst_duration_ns=5 * MS, burst_period_ns=25 * MS,
-    )
-    scaled.run_for(duration_ns)
-    return {
-        "events": scaled.sim.events_processed,
-        "sim_ns": scaled.sim.now,
-        "packets": scaled.pod.transmitted(),
-    }
+    return _volume(build(scenario_spec("microburst-reorder", quick=quick)).run())
 
 
 def ratelimit_churn(quick):
     """Two-stage limiter at 90% load with pre-table promote/demote churn."""
     from repro.core.ratelimit import TwoStageRateLimiter
-    from repro.experiments.common import ScaledPod
-    from repro.workloads.generators import CbrSource, uniform_population
+    from repro.scenarios import build, scenario_spec
 
-    duration_ns = (80 if quick else 300) * MS
-    scaled = ScaledPod(data_cores=4, per_core_pps=100_000, mode="plb", seed=3)
+    handle = build(scenario_spec("ratelimit-churn", quick=quick))
     limiter = TwoStageRateLimiter(
-        scaled.rngs.stream("bench-limiter"),
+        handle.rngs.stream("bench-limiter"),
         stage1_rate_pps=40_000, stage2_rate_pps=10_000,
     )
-    scaled.pod.nic.rate_limiter = limiter
-    population = uniform_population(64, tenants=_CHURN_TENANTS)
-    rate = int(scaled.capacity_pps * 0.9)
-    CbrSource(
-        scaled.sim, scaled.rngs.stream("bench-cbr"), scaled.pod.ingress,
-        population, rate,
-    )
+    handle.pod.nic.rate_limiter = limiter
 
     state = {"vni": 0}
 
@@ -103,15 +72,10 @@ def ratelimit_churn(quick):
         limiter.demote(state["vni"])
         state["vni"] = (state["vni"] + 1) % _CHURN_TENANTS
         limiter.promote_heavy_hitter(state["vni"])
-        scaled.sim.schedule(_CHURN_PERIOD_NS, churn)
+        handle.sim.schedule(_CHURN_PERIOD_NS, churn)
 
-    scaled.sim.schedule(_CHURN_PERIOD_NS, churn)
-    scaled.run_for(duration_ns)
-    return {
-        "events": scaled.sim.events_processed,
-        "sim_ns": scaled.sim.now,
-        "packets": scaled.pod.transmitted(),
-    }
+    handle.sim.schedule(_CHURN_PERIOD_NS, churn)
+    return _volume(handle.run())
 
 
 def fault_suite_quick(quick):

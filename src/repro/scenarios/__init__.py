@@ -1,0 +1,40 @@
+"""Unified scenario API: define a scenario once, run it from anywhere.
+
+* :class:`ScenarioSpec` (with :class:`PodSpec` and :class:`WorkloadSpec`)
+  is the plain-data description of a run -- deployment, workload,
+  duration, seed -- serializable via ``to_dict``/``from_dict``.
+* :func:`build` turns a spec into a live :class:`RunHandle` (simulator,
+  server, pods, sources) every entry point drives: ``simulate`` runs one
+  and prints it, ``bench`` times them, ``faults`` wires injectors onto
+  them, and ``sweep`` ships them to worker processes and merges the
+  run reports.
+* :mod:`repro.scenarios.registry` names the canonical specs.
+"""
+
+from repro.scenarios.build import RunHandle, build, scaled_service
+from repro.scenarios.registry import (
+    SCENARIO_FACTORIES,
+    scenario_descriptions,
+    scenario_names,
+    scenario_spec,
+)
+from repro.scenarios.spec import (
+    PodSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    apply_override,
+)
+
+__all__ = [
+    "PodSpec",
+    "RunHandle",
+    "SCENARIO_FACTORIES",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "apply_override",
+    "build",
+    "scaled_service",
+    "scenario_descriptions",
+    "scenario_names",
+    "scenario_spec",
+]

@@ -1,0 +1,217 @@
+"""Build a :class:`ScenarioSpec` into a running deployment.
+
+``build(spec)`` is the one construction path behind every entry point:
+it creates the simulator, the rng registry, an
+:class:`~repro.core.gateway.AlbatrossServer`, one pod per
+:class:`~repro.scenarios.spec.PodSpec` and (optionally) the declared
+workload, and returns a :class:`RunHandle` the caller drives.
+
+The handle's :meth:`RunHandle.report` emits the **run report**: a plain,
+deterministic, JSON-safe dict -- the unit the fleet engine merges across
+shards, so its key order and value types must stay stable.
+"""
+
+from repro.core.gateway import AlbatrossServer, PodConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def scaled_service(name="scaled", per_core_pps=100_000, lookups=4):
+    """A synthetic service whose saturated per-core rate is ``per_core_pps``.
+
+    Uses the analytic 35% hit-rate lookup cost to solve for base_ns, so the
+    paper-level per-core ratios carry over exactly at laptop packet rates.
+    """
+    from repro.cpu.service import GatewayService, LookupSpec, MemoryTimings
+
+    timings = MemoryTimings()
+    lookup_ns = timings.expected_lookup_ns(0.35)
+    total_ns = 1e9 / per_core_pps
+    base_ns = max(1, int(total_ns - lookups * lookup_ns))
+    specs = [LookupSpec(f"table{i}", 1_000_000, 256) for i in range(lookups)]
+    return GatewayService(name, base_ns, specs)
+
+
+def _pod_config(pod_spec, extras=None):
+    """Translate a :class:`PodSpec` into a :class:`PodConfig`."""
+    extras = dict(extras or {})
+    custom_service = None
+    if pod_spec.per_core_pps is not None:
+        custom_service = scaled_service(
+            per_core_pps=pod_spec.per_core_pps, lookups=pod_spec.lookups
+        )
+    return PodConfig(
+        name=pod_spec.name,
+        data_cores=pod_spec.data_cores,
+        ctrl_cores=pod_spec.ctrl_cores,
+        service=pod_spec.service,
+        mode=pod_spec.mode,
+        reorder_queues=pod_spec.reorder_queues,
+        rx_capacity=pod_spec.rx_capacity,
+        drop_flag_enabled=pod_spec.drop_flag_enabled,
+        acl_drop_probability=pod_spec.acl_drop_probability,
+        silent_drop_probability=pod_spec.silent_drop_probability,
+        numa_node=pod_spec.numa_node,
+        memory_node=pod_spec.memory_node,
+        custom_service=custom_service,
+        **extras,
+    )
+
+
+def _build_population(workload):
+    from repro.workloads.generators import uniform_population, zipf_population
+
+    if workload.population == "zipf":
+        return zipf_population(
+            workload.flows,
+            exponent=workload.zipf_exponent,
+            tenants=workload.tenants,
+        )
+    return uniform_population(workload.flows, tenants=workload.tenants)
+
+
+class RunHandle:
+    """A built scenario: simulator, server, pods and attached sources.
+
+    Scenario functions are free to wire extra machinery (fault
+    injectors, limiters, bespoke sinks) onto the handle before calling
+    :meth:`run`; everything reachable from ``sim``/``rngs``/``server``
+    is theirs to extend.
+    """
+
+    def __init__(self, spec, sim, rngs, server, pods, sources):
+        self.spec = spec
+        self.sim = sim
+        self.rngs = rngs
+        self.server = server
+        self.pods = pods            # {name: GwPodRuntime}, spec order
+        self.sources = list(sources)
+
+    @property
+    def pod(self):
+        """The first (often only) pod."""
+        return next(iter(self.pods.values()))
+
+    def capacity_pps(self, pod_name=None):
+        """Nominal packet capacity of one pod (see ``WorkloadSpec.load``)."""
+        spec = self.spec.pods[0] if pod_name is None else next(
+            pod for pod in self.spec.pods if pod.name == pod_name
+        )
+        if spec.per_core_pps is not None:
+            return spec.per_core_pps * spec.data_cores
+        pod = self.pods[spec.name]
+        return pod.expected_capacity_mpps() * 1e6
+
+    def run(self, duration_ns=None):
+        """Advance the clock by ``duration_ns`` (default: the spec's)."""
+        span = self.spec.duration_ns if duration_ns is None else duration_ns
+        self.sim.run_until(self.sim.now + span)
+        return self
+
+    def run_for(self, duration_ns):
+        """Alias kept for :class:`ScaledPod` compatibility."""
+        return self.run(duration_ns)
+
+    def report(self):
+        """The deterministic per-run report (the fleet's merge unit)."""
+        pods = {}
+        for name, pod in self.pods.items():
+            entry = {
+                "transmitted": pod.transmitted(),
+                "counters": dict(sorted(pod.counters.snapshot().items())),
+                "outcomes": dict(sorted(pod.outcomes.items())),
+                "latency": pod.latency_histogram.to_dict(),
+            }
+            if pod.config.mode == "plb":
+                stats = pod.reorder_stats
+                entry["reorder"] = {
+                    "in_order": stats.in_order,
+                    "best_effort": stats.best_effort,
+                    "hol_events": stats.hol_events,
+                }
+            pods[name] = entry
+        return {
+            "scenario": self.spec.name,
+            "seed": self.spec.seed,
+            "duration_ns": self.spec.duration_ns,
+            "sim_ns": self.sim.now,
+            "events": self.sim.events_processed,
+            "pods": pods,
+        }
+
+
+def build(spec, sim=None, rngs=None, pod_extras=None):
+    """Construct the deployment a :class:`ScenarioSpec` describes.
+
+    Parameters:
+        spec: the scenario.
+        sim / rngs: pass to embed the scenario in an existing simulation
+            (defaults: fresh ``Simulator`` and ``RngRegistry(spec.seed)``).
+        pod_extras: ``{pod_name: {kwarg: object}}`` of live-object
+            :class:`PodConfig` kwargs (``rate_limiter``, ``jitter``, ...)
+            that plain-data specs cannot carry.  Handles built with
+            extras run fine but their specs no longer describe the full
+            deployment -- keep extras out of sweep-bound scenarios.
+    """
+    sim = sim if sim is not None else Simulator()
+    rngs = rngs if rngs is not None else RngRegistry(seed=spec.seed)
+    server = AlbatrossServer(sim, rngs)
+    pod_extras = pod_extras or {}
+
+    pods = {}
+    for pod_spec in spec.pods:
+        extras = dict(pod_extras.get(pod_spec.name, {}))
+        if pod_spec.limiter_stage1_pps is not None and "rate_limiter" not in extras:
+            from repro.core.ratelimit import TwoStageRateLimiter
+
+            extras["rate_limiter"] = TwoStageRateLimiter(
+                rngs.stream(f"limiter.{pod_spec.name}"),
+                stage1_rate_pps=pod_spec.limiter_stage1_pps,
+                stage2_rate_pps=(
+                    pod_spec.limiter_stage2_pps
+                    if pod_spec.limiter_stage2_pps is not None
+                    else pod_spec.limiter_stage1_pps // 4 or 1
+                ),
+            )
+        config = _pod_config(pod_spec, extras)
+        pods[pod_spec.name] = server.add_pod(config)
+
+    sources = []
+    if spec.workload is not None:
+        if not spec.pods:
+            raise ValueError(f"scenario {spec.name!r} has a workload but no pods")
+        sources.append(_attach_workload(spec, sim, rngs, pods))
+
+    return RunHandle(spec, sim, rngs, server, pods, sources)
+
+
+def _attach_workload(spec, sim, rngs, pods):
+    from repro.workloads.generators import CbrSource
+    from repro.workloads.microburst import MicroburstSource
+
+    workload = spec.workload
+    target_spec = spec.pods[0]
+    target = pods[target_spec.name]
+    population = _build_population(workload)
+    if workload.rate_pps is not None:
+        rate = workload.rate_pps
+    else:
+        if target_spec.per_core_pps is not None:
+            capacity = target_spec.per_core_pps * target_spec.data_cores
+        else:
+            capacity = target.expected_capacity_mpps() * 1e6
+        rate = int(capacity * workload.load)
+    stream = rngs.stream(workload.stream)
+    if workload.kind == "microburst":
+        burst_kwargs = {"burst_factor": workload.burst_factor}
+        if workload.burst_duration_ns is not None:
+            burst_kwargs["burst_duration_ns"] = workload.burst_duration_ns
+        if workload.burst_period_ns is not None:
+            burst_kwargs["burst_period_ns"] = workload.burst_period_ns
+        return MicroburstSource(
+            sim, stream, target.ingress, population, rate,
+            size=workload.size, **burst_kwargs,
+        )
+    return CbrSource(
+        sim, stream, target.ingress, population, rate, size=workload.size
+    )

@@ -1,0 +1,234 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single way to say "this deployment, this
+workload, this long, this seed" -- every entry point (``simulate``,
+``bench``, ``faults``, ``sweep``) builds its servers from one, so a
+scenario defined once is runnable from every command and shardable
+across a worker fleet.
+
+Specs are **plain data**: every field is a scalar, so a spec round-trips
+losslessly through :meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict` (the wire format the fleet engine ships
+to worker processes, and the schema ``python -m repro sweep`` embeds in
+its report).  Anything that is not plain data -- a live
+``TwoStageRateLimiter``, a jitter model -- is attached *after*
+:func:`repro.scenarios.build` by the calling scenario, or passed through
+``build``'s ``pod_extras`` escape hatch (such handles are runnable but
+not serializable).
+"""
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError(message)
+
+
+class WorkloadSpec:
+    """One packet source aimed at a pod's ingress.
+
+    ``rate_pps`` and ``load`` are mutually exclusive: ``load`` is a
+    fraction of the target pod's nominal capacity, resolved at build
+    time (so the same workload spec scales with the pod it drives).
+    """
+
+    KINDS = ("cbr", "microburst")
+
+    __slots__ = (
+        "kind", "flows", "tenants", "rate_pps", "load", "size", "stream",
+        "population", "zipf_exponent", "burst_factor", "burst_duration_ns",
+        "burst_period_ns",
+    )
+
+    def __init__(
+        self,
+        kind="cbr",
+        flows=1000,
+        tenants=50,
+        rate_pps=None,
+        load=None,
+        size=256,
+        stream="traffic",
+        population="uniform",
+        zipf_exponent=1.05,
+        burst_factor=6.0,
+        burst_duration_ns=None,
+        burst_period_ns=None,
+    ):
+        _require(kind in self.KINDS, f"unknown workload kind {kind!r}")
+        _require(population in ("uniform", "zipf"),
+                 f"unknown population {population!r}")
+        _require((rate_pps is None) != (load is None),
+                 "exactly one of rate_pps/load must be set")
+        self.kind = kind
+        self.flows = flows
+        self.tenants = tenants
+        self.rate_pps = rate_pps
+        self.load = load
+        self.size = size
+        self.stream = stream
+        self.population = population
+        self.zipf_exponent = zipf_exponent
+        self.burst_factor = burst_factor
+        self.burst_duration_ns = burst_duration_ns
+        self.burst_period_ns = burst_period_ns
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+class PodSpec:
+    """One GW pod, described with scalars only.
+
+    ``per_core_pps`` selects a synthetic service calibrated to that
+    per-core rate (the ``ScaledPod`` scaling discipline); when ``None``
+    the named paper ``service`` is used instead.
+
+    ``limiter_stage1_pps``/``limiter_stage2_pps`` declare the two-stage
+    tenant rate limiter by its per-entry rates; the live
+    ``TwoStageRateLimiter`` (with its seeded sampler stream) is
+    constructed at build time, so limiter-bearing scenarios stay plain
+    data and shard cleanly.
+    """
+
+    __slots__ = (
+        "name", "data_cores", "ctrl_cores", "mode", "service",
+        "per_core_pps", "lookups", "reorder_queues", "rx_capacity",
+        "drop_flag_enabled", "acl_drop_probability",
+        "silent_drop_probability", "numa_node", "memory_node",
+        "limiter_stage1_pps", "limiter_stage2_pps",
+    )
+
+    def __init__(
+        self,
+        name="pod",
+        data_cores=4,
+        ctrl_cores=2,
+        mode="plb",
+        service="VPC-Internet",
+        per_core_pps=None,
+        lookups=4,
+        reorder_queues=None,
+        rx_capacity=1024,
+        drop_flag_enabled=True,
+        acl_drop_probability=0.0,
+        silent_drop_probability=0.0,
+        numa_node=None,
+        memory_node=None,
+        limiter_stage1_pps=None,
+        limiter_stage2_pps=None,
+    ):
+        _require(data_cores >= 1, "a pod needs at least one data core")
+        self.name = name
+        self.data_cores = data_cores
+        self.ctrl_cores = ctrl_cores
+        self.mode = mode
+        self.service = service
+        self.per_core_pps = per_core_pps
+        self.lookups = lookups
+        self.reorder_queues = reorder_queues
+        self.rx_capacity = rx_capacity
+        self.drop_flag_enabled = drop_flag_enabled
+        self.acl_drop_probability = acl_drop_probability
+        self.silent_drop_probability = silent_drop_probability
+        self.numa_node = numa_node
+        self.memory_node = memory_node
+        self.limiter_stage1_pps = limiter_stage1_pps
+        self.limiter_stage2_pps = limiter_stage2_pps
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
+class ScenarioSpec:
+    """A named, seeded, fully-declarative simulation run.
+
+    Parameters:
+        name: scenario identity (report key, rng namespace for extras).
+        pods: tuple of :class:`PodSpec` (may be empty for control-plane
+            scenarios that build no gateway server).
+        workload: optional :class:`WorkloadSpec` aimed at the first pod;
+            scenarios with bespoke traffic leave it ``None`` and attach
+            sources through the built handle.
+        duration_ns: how long :meth:`RunHandle.run` advances the clock.
+        seed: the experiment seed every rng stream derives from.
+    """
+
+    def __init__(self, name, pods=(), workload=None, duration_ns=0, seed=42):
+        _require(bool(name), "a scenario needs a name")
+        pods = tuple(pods)
+        seen = set()
+        for pod in pods:
+            _require(pod.name not in seen, f"duplicate pod name {pod.name!r}")
+            seen.add(pod.name)
+        self.name = name
+        self.pods = pods
+        self.workload = workload
+        self.duration_ns = duration_ns
+        self.seed = seed
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "pods": [pod.to_dict() for pod in self.pods],
+            "workload": None if self.workload is None else self.workload.to_dict(),
+            "duration_ns": self.duration_ns,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            name=data["name"],
+            pods=tuple(PodSpec.from_dict(pod) for pod in data["pods"]),
+            workload=(
+                None if data.get("workload") is None
+                else WorkloadSpec.from_dict(data["workload"])
+            ),
+            duration_ns=data["duration_ns"],
+            seed=data["seed"],
+        )
+
+    def with_overrides(self, seed=None, duration_ns=None, overrides=None):
+        """A copy with ``seed``/``duration_ns`` and dotted field overrides.
+
+        ``overrides`` maps dotted paths into the serialized form to new
+        values, e.g. ``{"workload.tenants": 100_000}`` or
+        ``{"pods.0.data_cores": 8}``.
+        """
+        data = self.to_dict()
+        if seed is not None:
+            data["seed"] = seed
+        if duration_ns is not None:
+            data["duration_ns"] = duration_ns
+        for path, value in (overrides or {}).items():
+            apply_override(data, path, value)
+        return ScenarioSpec.from_dict(data)
+
+    def __repr__(self):
+        return (
+            f"<ScenarioSpec {self.name!r}: {len(self.pods)} pod(s), "
+            f"{self.duration_ns} ns, seed {self.seed}>"
+        )
+
+
+def apply_override(data, path, value):
+    """Set ``path`` (dotted, list indices allowed) in a spec dict."""
+    parts = path.split(".")
+    node = data
+    for part in parts[:-1]:
+        node = node[int(part)] if isinstance(node, list) else node[part]
+    leaf = parts[-1]
+    if isinstance(node, list):
+        node[int(leaf)] = value
+    else:
+        if node is None or leaf not in node:
+            raise KeyError(f"override path {path!r} does not exist in the spec")
+        node[leaf] = value

@@ -177,6 +177,43 @@ class TestDet004HandRolledHeaps:
         assert codes("import heapq\n", path="src/repro/sim/engine.py") == []
 
 
+class TestDet005CompletionOrder:
+    def test_imap_unordered_fires(self):
+        source = """\
+        def run(pool, jobs):
+            return list(pool.imap_unordered(work, jobs))
+        """
+        assert codes(source) == ["DET005"]
+
+    def test_as_completed_call_fires(self):
+        source = """\
+        def run(futures):
+            return [f.result() for f in as_completed(futures)]
+        """
+        assert codes(source) == ["DET005"]
+
+    def test_as_completed_attribute_call_fires(self):
+        source = """\
+        import concurrent.futures
+
+        def run(futures):
+            return [f.result() for f in concurrent.futures.as_completed(futures)]
+        """
+        assert codes(source) == ["DET005"]
+
+    def test_as_completed_import_fires(self):
+        assert codes("from concurrent.futures import as_completed\n") == [
+            "DET005"
+        ]
+
+    def test_ordered_pool_map_is_clean(self):
+        source = """\
+        def run(pool, jobs):
+            return pool.map(work, jobs)
+        """
+        assert codes(source) == []
+
+
 class TestSuppressions:
     def test_trailing_suppression_with_reason(self):
         source = "import time  # lint: disable=DET001(host-side timing only)\n"
@@ -232,7 +269,7 @@ class TestReporting:
     def test_rule_registry_complete(self):
         rules = all_rules()
         assert [rule.code for rule in rules] == [
-            "DET001", "DET002", "DET003", "DET004"
+            "DET001", "DET002", "DET003", "DET004", "DET005"
         ]
         assert all(rule.summary for rule in rules)
         assert get_rule("DET001") is rules[0]
@@ -257,5 +294,5 @@ class TestShippedTree:
     def test_cli_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "DET003", "DET004"):
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005"):
             assert code in out

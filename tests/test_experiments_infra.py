@@ -40,7 +40,20 @@ class TestFormatTable:
 
     def test_missing_cell(self):
         rendered = format_table([{"a": 1, "b": 2}, {"a": 3}])
-        assert "None" in rendered
+        rows = rendered.splitlines()[2:]
+        assert rows[1].split() == ["3", "-"]
+
+    def test_union_of_keys_first_seen_order(self):
+        rendered = format_table([{"a": 1}, {"b": 2, "a": 3}, {"c": 4}])
+        header = rendered.splitlines()[0].split()
+        assert header == ["a", "b", "c"]
+        last = rendered.splitlines()[-1].split()
+        assert last == ["-", "-", "4"]
+
+    def test_explicit_none_still_renders(self):
+        rendered = format_table([{"a": None}, {"b": 1}])
+        first_row = rendered.splitlines()[2].split()
+        assert first_row == ["None", "-"]
 
 
 class TestScaledService:

@@ -1,0 +1,161 @@
+"""Unified scenario API tests: spec round-trips and build equivalence.
+
+The acceptance bar for the API redesign: a scenario defined once as a
+:class:`ScenarioSpec` must (a) survive the wire format losslessly --
+that is what the fleet engine ships to workers -- and (b) produce the
+same deployment from every entry point (simulate, bench, faults,
+experiments' ``ScaledPod`` shim).
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    PodSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build,
+    scenario_names,
+    scenario_spec,
+)
+from repro.sim.units import MS
+
+
+def _spec(**overrides):
+    kwargs = {
+        "name": "round-trip",
+        "pods": (
+            PodSpec(name="pod", data_cores=4, per_core_pps=100_000,
+                    limiter_stage1_pps=100, limiter_stage2_pps=25),
+        ),
+        "workload": WorkloadSpec(kind="cbr", flows=32, tenants=4, load=0.5),
+        "duration_ns": 10 * MS,
+        "seed": 7,
+    }
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestSpecRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        spec = _spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+    def test_survives_json(self):
+        spec = _spec()
+        wire = json.dumps(spec.to_dict())
+        assert ScenarioSpec.from_dict(json.loads(wire)).to_dict() == spec.to_dict()
+
+    def test_registry_specs_round_trip(self):
+        for name in scenario_names():
+            spec = scenario_spec(name, quick=True)
+            restored = ScenarioSpec.from_dict(
+                json.loads(json.dumps(spec.to_dict()))
+            )
+            assert restored.to_dict() == spec.to_dict(), name
+
+    def test_round_tripped_spec_builds_identical_run(self):
+        spec = scenario_spec("steady-state-plb", quick=True)
+        direct = build(spec).run().report()
+        shipped = build(ScenarioSpec.from_dict(spec.to_dict())).run().report()
+        assert direct == shipped
+
+
+class TestSpecValidation:
+    def test_unknown_workload_kind(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec(kind="poisson", load=0.5)
+
+    def test_rate_and_load_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="rate_pps/load"):
+            WorkloadSpec(rate_pps=1000, load=0.5)
+        with pytest.raises(ValueError, match="rate_pps/load"):
+            WorkloadSpec()
+
+    def test_duplicate_pod_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate pod name"):
+            ScenarioSpec(name="x", pods=(PodSpec(name="a"), PodSpec(name="a")))
+
+    def test_workload_without_pods_rejected_at_build(self):
+        spec = ScenarioSpec(
+            name="x", workload=WorkloadSpec(load=0.5), duration_ns=MS
+        )
+        with pytest.raises(ValueError, match="workload but no pods"):
+            build(spec)
+
+    def test_unknown_registry_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario_spec("nope")
+
+
+class TestOverrides:
+    def test_dotted_override_reaches_nested_fields(self):
+        spec = _spec()
+        derived = spec.with_overrides(
+            seed=99,
+            overrides={"workload.tenants": 1234, "pods.0.data_cores": 8},
+        )
+        assert derived.seed == 99
+        assert derived.workload.tenants == 1234
+        assert derived.pods[0].data_cores == 8
+        # The original is untouched.
+        assert spec.seed == 7
+        assert spec.workload.tenants == 4
+
+    def test_bad_override_path_raises(self):
+        with pytest.raises(KeyError, match="does not exist"):
+            _spec().with_overrides(overrides={"workload.typo": 1})
+
+
+class TestBuildEntryPoints:
+    def test_bench_scenarios_use_the_registry_spec(self):
+        from repro.perf.scenarios import steady_state_plb
+
+        spec = scenario_spec("steady-state-plb", quick=True)
+        handle = build(spec).run()
+        assert steady_state_plb(quick=True) == {
+            "events": handle.sim.events_processed,
+            "sim_ns": handle.sim.now,
+            "packets": handle.pod.transmitted(),
+        }
+
+    def test_scaled_pod_shim_matches_direct_build(self):
+        from repro.experiments.common import ScaledPod
+
+        shim = ScaledPod(data_cores=4, per_core_pps=50_000, seed=3)
+        direct = build(ScenarioSpec(
+            name="scaled-pod",
+            pods=(PodSpec(name="pod", data_cores=4, per_core_pps=50_000),),
+            seed=3,
+        ))
+        assert shim.capacity_pps == direct.capacity_pps() == 200_000
+        assert shim.pod.config.data_cores == direct.pod.config.data_cores
+        assert (
+            shim.pod.config.custom_service.base_ns
+            == direct.pod.config.custom_service.base_ns
+        )
+
+    def test_limiter_fields_construct_a_live_limiter(self):
+        handle = build(_spec())
+        limiter = handle.pod.nic.rate_limiter
+        assert limiter is not None
+        assert limiter.stage1_rate_pps == 100
+        assert limiter.stage2_rate_pps == 25
+
+    def test_control_plane_spec_builds_no_pods(self):
+        handle = build(ScenarioSpec(name="bare", duration_ns=MS, seed=1))
+        assert handle.pods == {}
+        handle.run()
+        assert handle.sim.now == MS
+
+    def test_report_shape(self):
+        report = build(_spec()).run().report()
+        assert set(report) == {
+            "scenario", "seed", "duration_ns", "sim_ns", "events", "pods",
+        }
+        pod = report["pods"]["pod"]
+        assert {"transmitted", "counters", "outcomes", "latency"} <= set(pod)
+        assert "reorder" in pod  # plb mode
+        # The report must be plain data (the fleet wire format).
+        json.dumps(report)
