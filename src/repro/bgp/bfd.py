@@ -153,6 +153,37 @@ class BfdSession:
             self._detect_event.cancel()
             self._detect_event = None
 
+    def checkpoint(self):
+        """Plain-data snapshot of the session state machine."""
+        return {
+            "state": self.state.value,
+            "discriminator": self.discriminator,
+            "peer_discriminator": self.peer_discriminator,
+            "probes_sent": self.probes_sent,
+            "probes_received": self.probes_received,
+            "down_events": self.down_events,
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` into this (live) session.
+
+        An UP/INIT session re-arms its detect timer from now -- exactly
+        what a freshly unfrozen endpoint does: it has just (conceptually)
+        heard from its peer, and missing the next ``multiplier`` probes
+        still tears the session down.
+        """
+        self.state = BfdState(snapshot["state"])
+        self.discriminator = snapshot["discriminator"]
+        self.peer_discriminator = snapshot["peer_discriminator"]
+        self.probes_sent = snapshot["probes_sent"]
+        self.probes_received = snapshot["probes_received"]
+        self.down_events = snapshot["down_events"]
+        if self.state is not BfdState.DOWN:
+            self._restart_detect_timer()
+        elif self._detect_event is not None:
+            self._detect_event.cancel()
+            self._detect_event = None
+
 
 def bfd_pair(sim, name_a="a", name_b="b", interval_ns=50 * MS, latency_ns=100_000,
              loss_fn_ab=None, loss_fn_ba=None, on_down=None, on_up=None):
@@ -224,6 +255,23 @@ class BfdLink:
     @property
     def sessions_up(self):
         return self.a.state is BfdState.UP and self.b.state is BfdState.UP
+
+    def checkpoint(self):
+        """Plain-data snapshot of the link and both endpoints."""
+        return {
+            "up": self.up,
+            "probes_lost": self.probes_lost,
+            "flaps": self.flaps,
+            "a": self.a.checkpoint(),
+            "b": self.b.checkpoint(),
+        }
+
+    def restore(self, snapshot):
+        self.up = snapshot["up"]
+        self.probes_lost = snapshot["probes_lost"]
+        self.flaps = snapshot["flaps"]
+        self.a.restore(snapshot["a"])
+        self.b.restore(snapshot["b"])
 
     def stop(self):
         self.a.stop()

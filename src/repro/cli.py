@@ -18,6 +18,9 @@ Commands:
 * ``sweep`` -- shard a named parameter sweep (:mod:`repro.fleet`)
   across worker processes and write the merged ``SWEEP_repro.json``;
   the merged report is byte-identical for any ``--workers`` count.
+* ``migrate`` -- run a named live-migration scenario (or ``all``) from
+  :mod:`repro.controlplane.scenarios` and print its drain/blackout
+  report.  Honours ``REPRO_SANITIZE=1`` the same way ``faults`` does.
 * ``lint`` -- run the determinism linter (:mod:`repro.analysis`) over
   source trees; exits 1 on findings.
 * ``sanitize`` -- run fault scenario(s) with the runtime sanitizer's
@@ -43,6 +46,14 @@ FAULT_SCENARIOS = (
 SWEEPS = (
     "tenant-scaling",
     "seed-replication",
+    "migration-replication",
+)
+
+# Kept in sync with repro.controlplane.scenarios.MIGRATION_SCENARIOS
+# (asserted by tests).
+MIGRATIONS = (
+    "rebalance-hot-pod",
+    "rolling-upgrade",
 )
 
 
@@ -137,6 +148,19 @@ def build_parser():
     sweep.add_argument(
         "--output", default="SWEEP_repro.json",
         help="merged report path (default: SWEEP_repro.json)",
+    )
+
+    migrate = commands.add_parser(
+        "migrate", help="run a live pod-migration scenario"
+    )
+    migrate.add_argument(
+        "scenario",
+        choices=MIGRATIONS + ("all",),
+        help="named migration scenario (or 'all')",
+    )
+    migrate.add_argument("--seed", type=int, default=42)
+    migrate.add_argument(
+        "--quick", action="store_true", help="scaled-down timings"
     )
 
     lint = commands.add_parser(
@@ -248,6 +272,24 @@ def cmd_faults(args):
     return 0
 
 
+def cmd_migrate(args):
+    from repro.analysis.sanitizer import get_sanitizer
+    from repro.controlplane import run_migration_scenario
+
+    names = MIGRATIONS if args.scenario == "all" else (args.scenario,)
+    for index, name in enumerate(names):
+        if index:
+            print()
+        report = run_migration_scenario(name, seed=args.seed, quick=args.quick)
+        print(report.render())
+    sanitizer = get_sanitizer()
+    if sanitizer is not None:
+        # Summary on stderr: stdout must stay byte-identical to an
+        # unsanitized run (CI diffs the two).
+        print(sanitizer.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args):
     import json
     import os
@@ -341,6 +383,7 @@ def cmd_sanitize(args):
 
 
 def cmd_inventory(_args):
+    from repro.controlplane import migration_descriptions
     from repro.cpu.service import standard_services
     from repro.experiments.runner import all_experiments
     from repro.faults.scenarios import scenario_descriptions as fault_descriptions
@@ -355,6 +398,9 @@ def cmd_inventory(_args):
         print(f"  {name}: {blurb}")
     print("fault scenarios:")
     for name, blurb in fault_descriptions().items():
+        print(f"  {name}: {blurb}")
+    print("migration scenarios:")
+    for name, blurb in migration_descriptions().items():
         print(f"  {name}: {blurb}")
     print("experiments:")
     for name, _fn in all_experiments():
@@ -388,6 +434,7 @@ def main(argv=None):
         "faults": cmd_faults,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "migrate": cmd_migrate,
         "lint": cmd_lint,
         "sanitize": cmd_sanitize,
         "inventory": cmd_inventory,

@@ -1,0 +1,52 @@
+"""Snapshot plumbing: plain-data validation + canonical byte encoding.
+
+Every ``checkpoint()`` in the tree must produce *plain data* -- dicts,
+lists, strings, ints, floats, bools and None, nothing else -- so a
+snapshot serializes losslessly to JSON, ships across process (or
+machine) boundaries and restores on the far side without pickling
+arbitrary objects.  :func:`ensure_plain` enforces that contract at
+freeze time; :func:`snapshot_bytes` defines the canonical wire encoding
+whose length prices the state-transfer phase of a migration.
+"""
+
+import json
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def ensure_plain(value, path="snapshot"):
+    """Assert ``value`` is plain data all the way down; returns it.
+
+    Raises TypeError naming the offending path, so a component that
+    leaks a live object (an enum, a deque, a Session) into its
+    checkpoint fails loudly at freeze time instead of at restore time
+    on another machine.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            ensure_plain(item, f"{path}[{index}]")
+        return value
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"{path} has a non-string key {key!r} "
+                    f"({type(key).__name__}); JSON objects need str keys"
+                )
+            ensure_plain(item, f"{path}.{key}")
+        return value
+    raise TypeError(
+        f"{path} holds a non-plain {type(value).__name__}: {value!r}"
+    )
+
+
+def snapshot_bytes(snapshot):
+    """Canonical byte encoding of a snapshot.
+
+    Sorted keys, no whitespace: two structurally equal snapshots encode
+    to identical bytes, which is what the byte-identity tests (and the
+    per-KiB transfer cost) are defined over.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":")).encode()

@@ -25,6 +25,7 @@ from repro.cpu.core import CpuCore, Verdict
 from repro.cpu.numa import NumaTopology
 from repro.cpu.service import MemoryTimings, ServiceChain, standard_services
 from repro.metrics.histogram import LatencyHistogram
+from repro.sim.rng import rng_state, set_rng_state
 from repro.sim.units import SECOND
 
 
@@ -235,6 +236,71 @@ class GwPodRuntime:
         self.crashed = False
         for core in self.cores:
             core.restore()
+
+    # -- checkpoint / restore (live migration, repro.controlplane) ---------
+
+    def in_flight(self):
+        """Data-plane packets currently inside the pod (counter-based)."""
+        return self.nic.in_flight()
+
+    def quiescent(self):
+        """True when the pod holds no packet state anywhere.
+
+        This is the drain-complete predicate for live migration: no
+        packet between ingress and egress, every core idle with an empty
+        RX ring, every reorder queue drained and the protocol priority
+        path quiet.  Only a quiescent pod can be checkpointed.
+        """
+        if self.nic.in_flight() != 0:
+            return False
+        for core in self.cores:
+            if core.busy or len(core.rx_queue) != 0:
+                return False
+        reorder = self.nic.reorder
+        for ordq in range(reorder.queue_count):
+            if reorder.occupancy(ordq) != 0:
+                return False
+        return self.nic.priority.idle
+
+    def checkpoint(self):
+        """Plain-scalar snapshot of every stateful component in the pod.
+
+        The result is JSON-serializable (dicts/lists/str/int/float/bool/
+        None all the way down) and, paired with :meth:`restore_state` on a
+        freshly built pod of the same shape, byte-identically resumes the
+        frozen pod -- including every RNG stream position, so the restored
+        pod's future random draws match what the original would have
+        produced (the checkpoint-RNG regression tests pin this down).
+        """
+        return {
+            "name": self.config.name,
+            "crashed": self.crashed,
+            "outcomes": dict(self.outcomes),
+            "latency": self.latency_histogram.checkpoint(),
+            "rng": rng_state(self.rng),
+            "cores": [core.stats.checkpoint() for core in self.cores],
+            "nic": self.nic.checkpoint(),
+        }
+
+    def restore_state(self, snapshot):
+        """Reinstate a :meth:`checkpoint` into this (freshly built) pod.
+
+        The pod must have the same shape as the checkpointed one (core
+        count, reorder queue count); NUMA placement is free to differ --
+        that is the whole point of migrating.
+        """
+        if len(snapshot["cores"]) != len(self.cores):
+            raise ValueError(
+                f"checkpoint has {len(snapshot['cores'])} cores, "
+                f"pod has {len(self.cores)}"
+            )
+        self.crashed = snapshot["crashed"]
+        self.outcomes = dict(snapshot["outcomes"])
+        self.latency_histogram.restore(snapshot["latency"])
+        set_rng_state(self.rng, snapshot["rng"])
+        for core, state in zip(self.cores, snapshot["cores"]):
+            core.stats.restore(state)
+        self.nic.restore(snapshot["nic"])
 
     @property
     def counters(self):

@@ -137,6 +137,38 @@ class NicPipeline:
         """Packets injected but not yet settled (>= 0 while conserving)."""
         return self._san_injected - self._san_settled
 
+    #: Counters that settle a packet's fate.  Every packet counted by
+    #: ``rx_packets`` ends up in exactly one of these, so
+    #: ``rx_packets - sum(terminal)`` is the number still in flight.
+    #: Deliberately absent: ``dispatched`` and ``offload_fast_path`` (the
+    #: packet is still moving; it settles at ``tx_packets``),
+    #: ``reorder_drop_flag`` (already settled at ``cpu_acl_drops``; the
+    #: flag release only reclaims reorder resources) and
+    #: ``pod_crashed_drops`` (counted *instead of* ``rx_packets``, not
+    #: after it).
+    TERMINAL_COUNTERS = (
+        "tx_packets",
+        "fpga_stall_drops",
+        "rx_priority",
+        "rate_limited_drops",
+        "reorder_fifo_drops",
+        "rx_queue_drops",
+        "cpu_silent_drops",
+        "cpu_acl_drops",
+        "reorder_payload_gone",
+    )
+
+    def in_flight(self):
+        """Data-plane packets inside the pipeline right now.
+
+        Unlike :meth:`sanitizer_in_flight` this works without the
+        sanitizer installed: it is pure counter arithmetic, usable by the
+        control plane to decide when a draining pod has gone quiet.
+        """
+        counters = self.counters
+        settled = sum(counters.get(name) for name in self.TERMINAL_COUNTERS)
+        return counters.get("rx_packets") - settled
+
     # ------------------------------------------------------------------
     # Ingress
     # ------------------------------------------------------------------
@@ -280,6 +312,60 @@ class NicPipeline:
         packet.departure_ns = self.sim._now
         self._incr("tx_packets")
         self.egress_fn(packet, outcome)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (live migration, repro.controlplane)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self):
+        """Plain-data snapshot of the pipeline's frozen state.
+
+        Preconditions: the pod must be quiescent -- the reorder engine
+        refuses to checkpoint non-drained queues, and the control plane
+        is responsible for having emptied the core RX rings first.
+        """
+        return {
+            "mode": self.config.mode,
+            "counters": self.counters.checkpoint(),
+            "reorder": self.reorder.checkpoint(),
+            "dispatch": self.plb.checkpoint(),
+            "rss": self.rss.checkpoint(),
+            "limiter": (
+                None if self.rate_limiter is None else self.rate_limiter.checkpoint()
+            ),
+            "offload": (
+                None
+                if self.session_offload is None
+                else self.session_offload.checkpoint()
+            ),
+            "priority_delivered": self.priority.delivered,
+            "fpga_stalled": self._fpga_stalled,
+            "heartbeat": self._heartbeat,
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` into this (freshly built) pipeline."""
+        if snapshot["mode"] != self.config.mode:
+            self.config.mode = snapshot["mode"]
+            self.pkt_dir.set_default_data_path(
+                DeliveryPath.PLB if snapshot["mode"] == "plb" else DeliveryPath.RSS
+            )
+        self.counters.restore(snapshot["counters"])
+        self.reorder.restore(snapshot["reorder"])
+        self.plb.restore(snapshot["dispatch"])
+        self.rss.restore(snapshot["rss"])
+        if self.rate_limiter is not None and snapshot["limiter"] is not None:
+            self.rate_limiter.restore(snapshot["limiter"])
+        if self.session_offload is not None and snapshot["offload"] is not None:
+            self.session_offload.restore(snapshot["offload"])
+        self.priority.delivered = snapshot["priority_delivered"]
+        self._fpga_stalled = snapshot["fpga_stalled"]
+        self._heartbeat = snapshot["heartbeat"]
+        # The sanitizer's conservation ledger is deliberately NOT part of
+        # the snapshot: it is instrumentation, and carrying it would make
+        # snapshot bytes (and thus freeze cost) depend on whether the
+        # sanitizer is installed.  The fresh pipeline's ledger restarts
+        # at zero and balances over post-restore traffic on its own.
 
     # ------------------------------------------------------------------
     # Control operations

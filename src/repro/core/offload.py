@@ -17,6 +17,7 @@ Sessions age out (hardware timer) and the table is capacity-bounded like
 any on-chip structure.
 """
 
+from repro.packet.flows import FlowKey
 from repro.sim.units import SECOND, US
 
 # Per-packet forwarding latency of the FPGA fast path (no DMA, no CPU):
@@ -145,6 +146,45 @@ class FpgaSessionOffload:
         del self._sessions[stalest.flow]
         self.evictions += 1
         return True
+
+    def checkpoint(self):
+        """Plain-data snapshot of the on-NIC session table.
+
+        Sessions are emitted in table insertion order so the restored
+        dict iterates identically -- idle-eviction ties break on
+        iteration order, and a migrated table must evict the same entry
+        the original would have.
+        """
+        return {
+            "sessions": [
+                [list(flow), session.installed_ns, session.last_hit_ns, session.hits]
+                for flow, session in self._sessions.items()
+            ],
+            "cpu_seen": [[list(flow), seen] for flow, seen in self._cpu_seen.items()],
+            "fast_path_hits": self.fast_path_hits,
+            "slow_path_misses": self.slow_path_misses,
+            "installs": self.installs,
+            "install_rejections": self.install_rejections,
+            "evictions": self.evictions,
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` in place."""
+        self._sessions = {}
+        for flow_fields, installed_ns, last_hit_ns, hits in snapshot["sessions"]:
+            flow = FlowKey(*flow_fields)
+            session = OffloadedSession(flow, installed_ns)
+            session.last_hit_ns = last_hit_ns
+            session.hits = hits
+            self._sessions[flow] = session
+        self._cpu_seen = {
+            FlowKey(*fields): seen for fields, seen in snapshot["cpu_seen"]
+        }
+        self.fast_path_hits = snapshot["fast_path_hits"]
+        self.slow_path_misses = snapshot["slow_path_misses"]
+        self.installs = snapshot["installs"]
+        self.install_rejections = snapshot["install_rejections"]
+        self.evictions = snapshot["evictions"]
 
     def expire_idle(self):
         """Bulk aging sweep; returns evicted count (ops/telemetry hook)."""

@@ -122,6 +122,28 @@ class PlbDispatcher:
                 return core, index
         return None, self._rr_index
 
+    def checkpoint(self):
+        """Plain-data snapshot: the rotation pointer and drop counters.
+
+        The flow->ordq memo is **not** carried: it is a pure function of
+        the 5-tuple and the queue count, so a restored dispatcher
+        recomputes identical values on demand.
+        """
+        return {
+            "rr_index": self._rr_index,
+            "dispatched": self.dispatched,
+            "fifo_full_drops": self.fifo_full_drops,
+            "dead_core_drops": self.dead_core_drops,
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint`; the spray rotation continues
+        from the frozen pointer (modulo the new core count)."""
+        self._rr_index = snapshot["rr_index"] % len(self.cores)
+        self.dispatched = snapshot["dispatched"]
+        self.fifo_full_drops = snapshot["fifo_full_drops"]
+        self.dead_core_drops = snapshot["dead_core_drops"]
+
     def spray_counts(self):
         """Packets-per-core counter snapshot (diagnostics for Fig. 8)."""
         return {core.core_id: core.stats.processed for core in self.cores}

@@ -106,6 +106,14 @@ class ReorderStats:
             return 0.0
         return self.best_effort / self.transmitted
 
+    def checkpoint(self):
+        """Plain-data snapshot (slot order is the declaration order)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def restore(self, snapshot):
+        for slot in self.__slots__:
+            setattr(self, slot, snapshot[slot])
+
 
 class _ReorderQueue:
     """One FIFO + BUF + BITMAP triple."""
@@ -275,6 +283,56 @@ class ReorderEngine:
         self.stats.resets += 1
         self.stats.reset_inflight_drops += dropped
         return dropped
+
+    def checkpoint(self):
+        """Plain-data snapshot: epochs, PSN generators and stats.
+
+        Requires a **drained** engine: in-flight packets (FIFO entries or
+        BUF residents) are live objects that cannot serialize, and a
+        migration's drain phase guarantees there are none.  Raises
+        ``ValueError`` otherwise so a premature freeze is loud.
+        """
+        for ordq, queue in enumerate(self._queues):
+            if queue.fifo or any(queue.bitmap_valid):
+                raise ValueError(
+                    f"cannot checkpoint reorder engine: queue {ordq} has "
+                    f"in-flight packets (drain the pod first)"
+                )
+        return {
+            "epoch": self.epoch,
+            "queues": [
+                {"head_ptr": queue.head_ptr, "tail_ptr": queue.tail_ptr}
+                for queue in self._queues
+            ],
+            "stats": self.stats.checkpoint(),
+            "last_in_order_psn": list(self._san_last_release),
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` in place.
+
+        The engine must itself be empty (freshly built, or drained); PSN
+        generators, epoch and stats continue exactly where the frozen
+        engine stopped, so post-restore in-order releases keep strictly
+        increasing PSNs per queue.
+        """
+        if len(snapshot["queues"]) != self.config.queue_count:
+            raise ValueError(
+                f"queue count mismatch: snapshot has "
+                f"{len(snapshot['queues'])}, engine has "
+                f"{self.config.queue_count}"
+            )
+        for queue, state in zip(self._queues, snapshot["queues"]):
+            if queue.fifo or any(queue.bitmap_valid):
+                raise ValueError("cannot restore into a non-empty reorder engine")
+            if queue.timeout_event is not None:
+                queue.timeout_event.cancel()
+                queue.timeout_event = None
+            queue.head_ptr = state["head_ptr"]
+            queue.tail_ptr = state["tail_ptr"]
+        self.epoch = snapshot["epoch"]
+        self.stats.restore(snapshot["stats"])
+        self._san_last_release = list(snapshot["last_in_order_psn"])
 
     def notify_drop(self, packet):
         """Active drop-flag path: the CPU dropped ``packet`` explicitly."""

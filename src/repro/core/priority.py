@@ -37,6 +37,11 @@ class PriorityQueueManager:
         """Priority-queue overflow drops (should stay zero in any sane run)."""
         return self.queue.dropped
 
+    @property
+    def idle(self):
+        """True when no protocol packet is queued or being serviced."""
+        return not self._busy and len(self.queue) == 0
+
     def enqueue(self, packet):
         """Admit a protocol packet to the priority path."""
         accepted = self.queue.push(packet)

@@ -24,6 +24,7 @@ import enum
 
 from repro.analysis.sanitizer import get_sanitizer
 from repro.packet.hashing import crc32_vni_hash
+from repro.sim.rng import rng_state, set_rng_state
 from repro.sim.units import SECOND
 
 
@@ -90,6 +91,23 @@ class TokenBucket:
             self.burst = burst
             self._tokens = min(self._tokens, float(burst))
 
+    def checkpoint(self):
+        """Plain-data snapshot of the bucket's fill state."""
+        return {
+            "rate_pps": self.rate_pps,
+            "burst": self.burst,
+            "tokens": self._tokens,
+            "last_ns": self._last_ns,
+        }
+
+    @classmethod
+    def from_checkpoint(cls, snapshot):
+        """Rebuild a bucket exactly as :meth:`checkpoint` captured it."""
+        bucket = cls(snapshot["rate_pps"], burst=snapshot["burst"])
+        bucket._tokens = snapshot["tokens"]
+        bucket._last_ns = snapshot["last_ns"]
+        return bucket
+
 
 class _HitterSampler:
     """Sampled heavy-hitter detection over meter-table drops.
@@ -118,6 +136,19 @@ class _HitterSampler:
         count = self._counts.get(vni, 0) + 1
         self._counts[vni] = count
         return count >= self.threshold
+
+    def checkpoint(self):
+        """Snapshot: window counts (as pairs, keeping VNIs integer) + rng."""
+        return {
+            "counts": [[vni, self._counts[vni]] for vni in sorted(self._counts)],
+            "window_start": self._window_start,
+            "rng": rng_state(self.rng),
+        }
+
+    def restore(self, snapshot):
+        self._counts = {vni: count for vni, count in snapshot["counts"]}
+        self._window_start = snapshot["window_start"]
+        set_rng_state(self.rng, snapshot["rng"])
 
 
 class TwoStageRateLimiter:
@@ -215,6 +246,70 @@ class TwoStageRateLimiter:
         self._pre_meter.clear()
         self.sram_resets += 1
         return wiped
+
+    # -- checkpoint / restore (live migration) ---------------------------
+
+    def checkpoint(self):
+        """Plain-data snapshot of the limiter SRAM: every lazily
+        materialized token bucket, the bypass set, the sampler window and
+        rng, and the decision counters.
+
+        Bucket tables serialize as ``[index, bucket]`` pairs sorted by
+        index, so the snapshot's byte layout is independent of packet
+        arrival order (dict insertion order is arrival order here).
+        """
+        return {
+            "stage1_rate_pps": self.stage1_rate_pps,
+            "stage2_rate_pps": self.stage2_rate_pps,
+            "pre_rate_pps": self.pre_rate_pps,
+            "color": [
+                [index, self._color[index].checkpoint()]
+                for index in sorted(self._color)
+            ],
+            "meter": [
+                [index, self._meter[index].checkpoint()]
+                for index in sorted(self._meter)
+            ],
+            "pre_meter": [
+                [vni, self._pre_meter[vni].checkpoint()]
+                for vni in sorted(self._pre_meter)
+            ],
+            "bypass": sorted(self._bypass),
+            "decisions": {
+                decision.value: self.decisions[decision]
+                for decision in RateLimitDecision
+            },
+            "promotions": self.promotions,
+            "sram_resets": self.sram_resets,
+            "sampler": self._sampler.checkpoint(),
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` in place (table sizes and
+        promotion policy stay as constructed)."""
+        self.stage1_rate_pps = snapshot["stage1_rate_pps"]
+        self.stage2_rate_pps = snapshot["stage2_rate_pps"]
+        self.pre_rate_pps = snapshot["pre_rate_pps"]
+        self._color = {
+            index: TokenBucket.from_checkpoint(state)
+            for index, state in snapshot["color"]
+        }
+        self._meter = {
+            index: TokenBucket.from_checkpoint(state)
+            for index, state in snapshot["meter"]
+        }
+        self._pre_meter = {
+            vni: TokenBucket.from_checkpoint(state)
+            for vni, state in snapshot["pre_meter"]
+        }
+        self._bypass = set(snapshot["bypass"])
+        self.decisions = {
+            decision: snapshot["decisions"][decision.value]
+            for decision in RateLimitDecision
+        }
+        self.promotions = snapshot["promotions"]
+        self.sram_resets = snapshot["sram_resets"]
+        self._sampler.restore(snapshot["sampler"])
 
     # -- data path -------------------------------------------------------
 

@@ -55,3 +55,19 @@ class RssDispatcher:
         """Pick the core for ``packet``; pure selection, no queueing."""
         self.dispatched += 1
         return self.core_for_flow(packet.flow)
+
+    def checkpoint(self):
+        """Plain-data snapshot: the indirection program + dispatch count.
+
+        The Toeplitz hash memo is **not** carried: it is a pure function
+        of the 5-tuple and the key, so a restored dispatcher recomputes
+        identical values on demand.
+        """
+        return {
+            "dispatched": self.dispatched,
+            "indirection": list(self._indirection),
+        }
+
+    def restore(self, snapshot):
+        self.set_indirection(snapshot["indirection"])
+        self.dispatched = snapshot["dispatched"]

@@ -33,6 +33,14 @@ class CoreStats:
         self.busy_ns = 0
         self.stall_ns = 0
 
+    def checkpoint(self):
+        """Plain-data snapshot (slot order is the declaration order)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def restore(self, snapshot):
+        for slot in self.__slots__:
+            setattr(self, slot, snapshot[slot])
+
     def utilization(self, window_ns):
         """Busy fraction over a window (may exceed 1.0 if overloaded)."""
         if window_ns <= 0:

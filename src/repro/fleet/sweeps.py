@@ -12,6 +12,11 @@ specs from the unified scenario registry:
   under independently derived seeds: the cheap way to tell a real
   regression from seed luck, and the fleet engine's own determinism
   canary (every replica is a byte-stable sub-run).
+* ``migration-replication`` -- the ``rolling-upgrade`` live-migration
+  scenario replicated under derived seeds: every shard executes a full
+  drain/freeze/restore/route-update cycle, so the sweep doubles as the
+  migration determinism canary (and its report carries the per-shard
+  ``migration`` section through the merge).
 """
 
 from repro.fleet.shard import ShardSpec, replicate, shard_seed
@@ -46,10 +51,19 @@ def seed_replication(quick=False, seed=42):
     return replicate(base, count=4 if quick else 8, seed=seed)
 
 
+def migration_replication(quick=False, seed=42):
+    """The rolling-upgrade migration under independently derived seeds."""
+    from repro.controlplane.scenarios import migration_scenario_spec
+
+    base = migration_scenario_spec("rolling-upgrade", quick=quick)
+    return replicate(base, count=3 if quick else 6, seed=seed)
+
+
 #: Ordered (name, factory) pairs; listing order is the inventory order.
 SWEEP_FACTORIES = (
     ("tenant-scaling", tenant_scaling),
     ("seed-replication", seed_replication),
+    ("migration-replication", migration_replication),
 )
 
 

@@ -34,6 +34,15 @@ class CounterSet:
             for name, value in self._counts.items()
         }
 
+    def checkpoint(self):
+        """Plain-data snapshot (insertion order preserved: it is the
+        render order of ``snapshot()`` consumers that sort, not ours)."""
+        return {"counts": dict(self._counts)}
+
+    def restore(self, snapshot):
+        """Reinstate a checkpoint, replacing all current counts."""
+        self._counts = dict(snapshot["counts"])
+
     def __getitem__(self, name):
         return self.get(name)
 

@@ -25,7 +25,7 @@ from bisect import bisect_left, bisect_right
 from fractions import Fraction
 import math
 
-from repro.sim.rng import derived_stream
+from repro.sim.rng import derived_stream, rng_state, set_rng_state
 
 
 class LatencyHistogram:
@@ -211,6 +211,37 @@ class LatencyHistogram:
             "bucket_counts": list(self._bucket_counts),
             "samples": list(self._samples),
         }
+
+    def checkpoint(self):
+        """Migration snapshot: :meth:`to_dict` **plus** the reservoir rng.
+
+        Unlike the fleet wire format (where the merging side owns
+        thinning), a live-migration restore must continue reservoir
+        sampling exactly where the frozen histogram stopped -- so the rng
+        position rides along.
+        """
+        snapshot = self.to_dict()
+        snapshot["rng"] = rng_state(self._rng)
+        return snapshot
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` in place, rng position included."""
+        self.bucket_factor = snapshot["bucket_factor"]
+        self.max_samples = snapshot["max_samples"]
+        self._bound_fraction = Fraction(self.bucket_factor)
+        self._power_of_two = self.bucket_factor == 2.0
+        self._bounds = [1]
+        self._count = snapshot["count"]
+        self._sum = snapshot["sum"]
+        self._min = snapshot["min"]
+        self._max = snapshot["max"]
+        self._bucket_counts = list(snapshot["bucket_counts"])
+        if len(self._bucket_counts) < 2:
+            self._bucket_counts.extend([0] * (2 - len(self._bucket_counts)))
+        self._samples = list(snapshot["samples"])
+        set_rng_state(self._rng, snapshot["rng"])
+        self._sorted_cache = []
+        self._sorted_cache_count = -1
 
     @classmethod
     def from_dict(cls, data, seed=1):

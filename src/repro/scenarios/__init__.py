@@ -19,6 +19,7 @@ from repro.scenarios.registry import (
     scenario_spec,
 )
 from repro.scenarios.spec import (
+    MigrationSpec,
     PodSpec,
     ScenarioSpec,
     WorkloadSpec,
@@ -26,6 +27,7 @@ from repro.scenarios.spec import (
 )
 
 __all__ = [
+    "MigrationSpec",
     "PodSpec",
     "RunHandle",
     "SCENARIO_FACTORIES",

@@ -79,13 +79,16 @@ class RunHandle:
     is theirs to extend.
     """
 
-    def __init__(self, spec, sim, rngs, server, pods, sources):
+    def __init__(self, spec, sim, rngs, server, pods, sources, migration=None):
         self.spec = spec
         self.sim = sim
         self.rngs = rngs
         self.server = server
         self.pods = pods            # {name: GwPodRuntime}, spec order
         self.sources = list(sources)
+        # The MigrationController when spec.migration is set; it swaps
+        # the migrated pod's entry in self.pods in place on restore.
+        self.migration = migration
 
     @property
     def pod(self):
@@ -130,7 +133,7 @@ class RunHandle:
                     "hol_events": stats.hol_events,
                 }
             pods[name] = entry
-        return {
+        report = {
             "scenario": self.spec.name,
             "seed": self.spec.seed,
             "duration_ns": self.spec.duration_ns,
@@ -138,6 +141,9 @@ class RunHandle:
             "events": self.sim.events_processed,
             "pods": pods,
         }
+        if self.migration is not None:
+            report["migration"] = self.migration.plan.to_dict()
+        return report
 
 
 def build(spec, sim=None, rngs=None, pod_extras=None):
@@ -176,22 +182,34 @@ def build(spec, sim=None, rngs=None, pod_extras=None):
         config = _pod_config(pod_spec, extras)
         pods[pod_spec.name] = server.add_pod(config)
 
+    migration = None
+    if spec.migration is not None:
+        from repro.controlplane.migration import MigrationController
+
+        migration = MigrationController(sim, server, spec.migration, pods)
+
     sources = []
     if spec.workload is not None:
         if not spec.pods:
             raise ValueError(f"scenario {spec.name!r} has a workload but no pods")
-        sources.append(_attach_workload(spec, sim, rngs, pods))
+        sources.append(_attach_workload(spec, sim, rngs, pods, migration))
 
-    return RunHandle(spec, sim, rngs, server, pods, sources)
+    return RunHandle(spec, sim, rngs, server, pods, sources, migration=migration)
 
 
-def _attach_workload(spec, sim, rngs, pods):
+def _attach_workload(spec, sim, rngs, pods, migration=None):
     from repro.workloads.generators import CbrSource
     from repro.workloads.microburst import MicroburstSource
 
     workload = spec.workload
     target_spec = spec.pods[0]
     target = pods[target_spec.name]
+    # Traffic aimed at a migrating pod goes through the controller's
+    # route() indirection: buffered during the blackout, never dropped.
+    if migration is not None and migration.pod_name == target_spec.name:
+        sink = migration.route
+    else:
+        sink = target.ingress
     population = _build_population(workload)
     if workload.rate_pps is not None:
         rate = workload.rate_pps
@@ -209,9 +227,9 @@ def _attach_workload(spec, sim, rngs, pods):
         if workload.burst_period_ns is not None:
             burst_kwargs["burst_period_ns"] = workload.burst_period_ns
         return MicroburstSource(
-            sim, stream, target.ingress, population, rate,
+            sim, stream, sink, population, rate,
             size=workload.size, **burst_kwargs,
         )
     return CbrSource(
-        sim, stream, target.ingress, population, rate, size=workload.size
+        sim, stream, sink, population, rate, size=workload.size
     )

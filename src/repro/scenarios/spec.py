@@ -147,6 +147,81 @@ class PodSpec:
         return cls(**data)
 
 
+class MigrationSpec:
+    """A planned live migration of one pod, described with scalars only.
+
+    The live :class:`~repro.controlplane.migration.MigrationController`
+    is constructed at build time (the same discipline as the limiter
+    fields on :class:`PodSpec`), so migration-bearing scenarios remain
+    plain data and shard cleanly across the fleet.
+
+    Parameters:
+        pod: name of the pod to migrate (must exist in the spec).
+        start_ns: sim time at which the controller begins the drain.
+        target_numa_node / target_memory_node: placement for the restored
+            pod; ``None`` lets the server pick (first node with room --
+            typically the original placement, i.e. an in-place restart).
+        poll_ns: drain-poll interval (how often quiescence is checked).
+        freeze_ns: fixed checkpoint cost once the pod is quiescent.
+        per_kib_ns: additional freeze cost per KiB of serialized
+            snapshot (models state-transfer bandwidth).
+        restore_ns: cost of rebuilding the pod from the snapshot.
+        route_update_ns: route-propagation delay before traffic is
+            released to the restored pod.
+        flush_rate_pps: pace at which buffered packets are released to
+            the restored pod (the upstream buffer drains at line rate,
+            not in one burst).  ``None`` releases the whole buffer in a
+            single event -- fine for idle pods, but a large burst can
+            exceed the reorder timeout window and leave as best-effort.
+            Set it at or below the pod's capacity to keep the
+            zero-reordering guarantee under load.
+    """
+
+    __slots__ = (
+        "pod", "start_ns", "target_numa_node", "target_memory_node",
+        "poll_ns", "freeze_ns", "per_kib_ns", "restore_ns",
+        "route_update_ns", "flush_rate_pps",
+    )
+
+    def __init__(
+        self,
+        pod,
+        start_ns,
+        target_numa_node=None,
+        target_memory_node=None,
+        poll_ns=50_000,
+        freeze_ns=0,
+        per_kib_ns=0,
+        restore_ns=0,
+        route_update_ns=0,
+        flush_rate_pps=None,
+    ):
+        _require(bool(pod), "a migration needs a pod name")
+        _require(start_ns >= 0, "migration start_ns must be >= 0")
+        _require(poll_ns > 0, "migration poll_ns must be > 0")
+        _require(
+            flush_rate_pps is None or flush_rate_pps > 0,
+            "migration flush_rate_pps must be > 0 when set",
+        )
+        self.pod = pod
+        self.start_ns = start_ns
+        self.target_numa_node = target_numa_node
+        self.target_memory_node = target_memory_node
+        self.poll_ns = poll_ns
+        self.freeze_ns = freeze_ns
+        self.per_kib_ns = per_kib_ns
+        self.restore_ns = restore_ns
+        self.route_update_ns = route_update_ns
+        self.flush_rate_pps = flush_rate_pps
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)
+
+
 class ScenarioSpec:
     """A named, seeded, fully-declarative simulation run.
 
@@ -159,20 +234,30 @@ class ScenarioSpec:
             sources through the built handle.
         duration_ns: how long :meth:`RunHandle.run` advances the clock.
         seed: the experiment seed every rng stream derives from.
+        migration: optional :class:`MigrationSpec`; build time attaches a
+            :class:`~repro.controlplane.migration.MigrationController`
+            that executes it as clock-driven events.
     """
 
-    def __init__(self, name, pods=(), workload=None, duration_ns=0, seed=42):
+    def __init__(self, name, pods=(), workload=None, duration_ns=0, seed=42,
+                 migration=None):
         _require(bool(name), "a scenario needs a name")
         pods = tuple(pods)
         seen = set()
         for pod in pods:
             _require(pod.name not in seen, f"duplicate pod name {pod.name!r}")
             seen.add(pod.name)
+        if migration is not None:
+            _require(
+                migration.pod in seen,
+                f"migration targets unknown pod {migration.pod!r}",
+            )
         self.name = name
         self.pods = pods
         self.workload = workload
         self.duration_ns = duration_ns
         self.seed = seed
+        self.migration = migration
 
     def to_dict(self):
         return {
@@ -181,6 +266,9 @@ class ScenarioSpec:
             "workload": None if self.workload is None else self.workload.to_dict(),
             "duration_ns": self.duration_ns,
             "seed": self.seed,
+            "migration": (
+                None if self.migration is None else self.migration.to_dict()
+            ),
         }
 
     @classmethod
@@ -194,6 +282,10 @@ class ScenarioSpec:
             ),
             duration_ns=data["duration_ns"],
             seed=data["seed"],
+            migration=(
+                None if data.get("migration") is None
+                else MigrationSpec.from_dict(data["migration"])
+            ),
         )
 
     def with_overrides(self, seed=None, duration_ns=None, overrides=None):

@@ -23,6 +23,25 @@ def derived_stream(name, seed=0):
     return random.Random(derived)
 
 
+def rng_state(rng):
+    """A stream's position as plain JSON-serializable data.
+
+    ``random.Random.getstate()`` returns ``(version, tuple of ints,
+    gauss_next)``; the tuple becomes a list so the state survives a JSON
+    round trip.  Every ``checkpoint()`` in the library carries its stream
+    positions through this helper -- a restored component replays the
+    exact random sequence the original would have drawn.
+    """
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+def set_rng_state(rng, state):
+    """Restore a stream position captured by :func:`rng_state`."""
+    version, internal, gauss_next = state
+    rng.setstate((version, tuple(internal), gauss_next))
+
+
 class RngRegistry:
     """Factory for independent, deterministically seeded RNG streams.
 
@@ -48,3 +67,24 @@ class RngRegistry:
     def reset(self):
         """Drop all streams; subsequent calls re-derive from the seed."""
         self._streams.clear()
+
+    def checkpoint(self):
+        """Snapshot of every materialized stream's position (plain data).
+
+        Streams are listed sorted by name so the snapshot's byte layout
+        does not depend on materialization order.
+        """
+        return {
+            "seed": self.seed,
+            "streams": [
+                [name, rng_state(self._streams[name])]
+                for name in sorted(self._streams)
+            ],
+        }
+
+    def restore(self, snapshot):
+        """Re-derive and reposition every stream from a checkpoint."""
+        self.seed = snapshot["seed"]
+        self._streams.clear()
+        for name, state in snapshot["streams"]:
+            set_rng_state(self.stream(name), state)

@@ -8,8 +8,9 @@ relocation chain, which is what production session tables do to keep load
 factors high at bounded bucket depth.
 """
 
+from repro.packet.flows import FlowKey
 from repro.packet.hashing import crc32_flow_hash
-from repro.sim.rng import derived_stream
+from repro.sim.rng import derived_stream, rng_state, set_rng_state
 
 
 class SessionTableFull(Exception):
@@ -121,6 +122,57 @@ class SessionTable:
             bucket[:] = keep
         self._size -= expired
         return expired
+
+    def checkpoint(self):
+        """Plain-data snapshot: exact bucket layout plus the kick rng.
+
+        The per-bucket entry order is preserved (not just the set of
+        sessions): cuckoo placement determines which entry a future kick
+        evicts, so a byte-faithful restore must land every session in the
+        same slot.  The kick rng position rides along -- a restored table
+        replays the same eviction walk the original would have.
+        """
+        return {
+            "buckets": self.buckets,
+            "bucket_depth": self.bucket_depth,
+            "max_kicks": self.max_kicks,
+            "entry_bytes": self.entry_bytes,
+            "entries": [
+                [
+                    [
+                        list(session.flow),
+                        session.translated_port,
+                        session.packets,
+                        session.bytes,
+                        session.created_ns,
+                        session.last_seen_ns,
+                    ]
+                    for session in bucket
+                ]
+                for bucket in self._table
+            ],
+            "rng": rng_state(self._kick_rng),
+        }
+
+    def restore(self, snapshot):
+        """Reinstate a :meth:`checkpoint` in place, kick rng included."""
+        self.buckets = snapshot["buckets"]
+        self.bucket_depth = snapshot["bucket_depth"]
+        self.max_kicks = snapshot["max_kicks"]
+        self.entry_bytes = snapshot["entry_bytes"]
+        self._table = []
+        self._size = 0
+        for bucket in snapshot["entries"]:
+            restored = []
+            for flow, port, packets, size, created_ns, last_seen_ns in bucket:
+                session = Session(FlowKey(*flow), port, created_ns=created_ns)
+                session.packets = packets
+                session.bytes = size
+                session.last_seen_ns = last_seen_ns
+                restored.append(session)
+            self._table.append(restored)
+            self._size += len(restored)
+        set_rng_state(self._kick_rng, snapshot["rng"])
 
     def load_factor(self):
         return self._size / self.capacity

@@ -1,0 +1,191 @@
+"""Dedicated ACL classifier tests: rule validation, priority semantics,
+mask/range edge cases and hit accounting.
+
+Complements the dataplane integration tests with the corner cases of
+the matcher itself: prefix-mask boundaries, inclusive port ranges,
+priority ties and the rule add/remove lifecycle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.acl import AclAction, AclClassifier, AclRule
+from repro.packet.flows import FlowKey, ip_from_str
+
+TCP = 6
+UDP = 17
+
+
+def flow(src="10.0.0.1", dst="192.168.1.1", sport=1234, dport=80, proto=TCP):
+    return FlowKey(ip_from_str(src), ip_from_str(dst), sport, dport, proto)
+
+
+class TestRuleValidation:
+    def test_empty_port_range_rejected(self):
+        with pytest.raises(ValueError, match="empty port range"):
+            AclRule("bad", AclAction.DENY, src_ports=(100, 99))
+
+    def test_empty_dst_port_range_rejected(self):
+        with pytest.raises(ValueError, match="empty port range"):
+            AclRule("bad", AclAction.DENY, dst_ports=(443, 80))
+
+    def test_prefix_length_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="bad prefix length"):
+            AclRule("bad", AclAction.DENY, src=(ip_from_str("10.0.0.0"), 33))
+        with pytest.raises(ValueError, match="bad prefix length"):
+            AclRule("bad", AclAction.DENY, dst=(ip_from_str("10.0.0.0"), -1))
+
+    def test_single_port_range_allowed(self):
+        rule = AclRule("ssh", AclAction.DENY, dst_ports=(22, 22))
+        assert rule.matches(flow(dport=22))
+        assert not rule.matches(flow(dport=23))
+
+
+class TestMaskEdgeCases:
+    def test_zero_length_prefix_matches_everything(self):
+        rule = AclRule("any", AclAction.DENY, src=(ip_from_str("1.2.3.4"), 0))
+        assert rule.matches(flow(src="255.255.255.255"))
+        assert rule.matches(flow(src="0.0.0.0"))
+
+    def test_host_prefix_is_exact(self):
+        rule = AclRule(
+            "host", AclAction.DENY, src=(ip_from_str("10.0.0.1"), 32)
+        )
+        assert rule.matches(flow(src="10.0.0.1"))
+        assert not rule.matches(flow(src="10.0.0.2"))
+
+    def test_prefix_boundary_31(self):
+        """A /31 covers exactly two addresses."""
+        rule = AclRule(
+            "p2p", AclAction.DENY, src=(ip_from_str("10.0.0.2"), 31)
+        )
+        assert rule.matches(flow(src="10.0.0.2"))
+        assert rule.matches(flow(src="10.0.0.3"))
+        assert not rule.matches(flow(src="10.0.0.4"))
+        assert not rule.matches(flow(src="10.0.0.1"))
+
+    def test_base_address_host_bits_ignored(self):
+        """The rule's own host bits are masked off before comparison."""
+        rule = AclRule(
+            "sloppy", AclAction.DENY, src=(ip_from_str("10.0.0.99"), 24)
+        )
+        assert rule.matches(flow(src="10.0.0.7"))
+
+    def test_port_range_bounds_inclusive(self):
+        rule = AclRule("range", AclAction.DENY, src_ports=(1000, 2000))
+        assert rule.matches(flow(sport=1000))
+        assert rule.matches(flow(sport=2000))
+        assert not rule.matches(flow(sport=999))
+        assert not rule.matches(flow(sport=2001))
+
+    def test_proto_wildcard_and_exact(self):
+        wildcard = AclRule("any-proto", AclAction.DENY)
+        tcp_only = AclRule("tcp", AclAction.DENY, proto=TCP)
+        assert wildcard.matches(flow(proto=UDP))
+        assert tcp_only.matches(flow(proto=TCP))
+        assert not tcp_only.matches(flow(proto=UDP))
+
+
+class TestPrioritySemantics:
+    def test_lowest_priority_value_wins(self):
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("permit-all", AclAction.PERMIT, priority=200))
+        classifier.add_rule(AclRule("deny-host", AclAction.DENY, priority=100,
+                                    src=(ip_from_str("10.0.0.1"), 32)))
+        action, rule = classifier.classify(flow(src="10.0.0.1"))
+        assert action is AclAction.DENY
+        assert rule.name == "deny-host"
+
+    def test_insertion_order_breaks_priority_ties(self):
+        """Equal priorities: the earlier-added rule matches first."""
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("first", AclAction.DENY, priority=50))
+        classifier.add_rule(AclRule("second", AclAction.PERMIT, priority=50))
+        _, rule = classifier.classify(flow())
+        assert rule.name == "first"
+
+    def test_late_add_of_lower_priority_reorders(self):
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("broad", AclAction.PERMIT, priority=500))
+        classifier.add_rule(AclRule("urgent", AclAction.DENY, priority=1))
+        assert [rule.name for rule in classifier.rules] == ["urgent", "broad"]
+
+
+class TestClassifierLifecycle:
+    def test_default_action_when_nothing_matches(self):
+        deny_default = AclClassifier(default_action=AclAction.DENY)
+        action, rule = deny_default.classify(flow())
+        assert action is AclAction.DENY
+        assert rule is None
+        assert deny_default.default_hits == 1
+        assert not deny_default.permits(flow())
+
+    def test_hit_counters_per_rule(self):
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("web", AclAction.PERMIT, dst_ports=(80, 80)))
+        classifier.add_rule(AclRule("ssh", AclAction.DENY, dst_ports=(22, 22)))
+        for _ in range(3):
+            classifier.classify(flow(dport=80))
+        classifier.classify(flow(dport=22))
+        classifier.classify(flow(dport=9999))
+        assert classifier.hits == {"web": 3, "ssh": 1}
+        assert classifier.default_hits == 1
+
+    def test_remove_rule(self):
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("ssh", AclAction.DENY, dst_ports=(22, 22)))
+        assert not classifier.permits(flow(dport=22))
+        assert classifier.remove_rule("ssh") is True
+        assert classifier.remove_rule("ssh") is False
+        assert classifier.permits(flow(dport=22))
+        assert "ssh" not in classifier.hits
+
+    def test_rules_property_returns_a_copy(self):
+        classifier = AclClassifier()
+        classifier.add_rule(AclRule("only", AclAction.DENY))
+        classifier.rules.clear()
+        assert len(classifier.rules) == 1
+
+
+ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+rules = st.builds(
+    AclRule,
+    name=st.uuids().map(str),
+    action=st.sampled_from((AclAction.PERMIT, AclAction.DENY)),
+    priority=st.integers(min_value=0, max_value=10),
+    src=st.none() | st.tuples(ips, st.integers(min_value=0, max_value=32)),
+    dst=st.none() | st.tuples(ips, st.integers(min_value=0, max_value=32)),
+    src_ports=st.none()
+    | st.tuples(ports, ports).map(lambda p: (min(p), max(p))),
+    dst_ports=st.none()
+    | st.tuples(ports, ports).map(lambda p: (min(p), max(p))),
+    proto=st.none() | st.sampled_from((TCP, UDP)),
+)
+flows = st.builds(
+    FlowKey,
+    src_ip=ips,
+    dst_ip=ips,
+    src_port=ports,
+    dst_port=ports,
+    proto=st.sampled_from((TCP, UDP, 1)),
+)
+
+
+class TestClassifyOracle:
+    @settings(max_examples=150, deadline=None)
+    @given(rule_list=st.lists(rules, max_size=6), packet_flow=flows)
+    def test_classify_matches_brute_force(self, rule_list, packet_flow):
+        """classify() == 'first match in (priority, insertion) order'."""
+        classifier = AclClassifier()
+        for rule in rule_list:
+            classifier.add_rule(rule)
+        expected_action, expected_rule = classifier.default_action, None
+        for rule in sorted(rule_list, key=lambda r: r.priority):
+            if rule.matches(packet_flow):
+                expected_action, expected_rule = rule.action, rule
+                break
+        action, rule = classifier.classify(packet_flow)
+        assert action is expected_action
+        assert rule is expected_rule

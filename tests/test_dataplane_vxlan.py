@@ -1,0 +1,207 @@
+"""Dedicated VXLAN gateway tests: byte-level forwarding edge cases.
+
+Complements the dataplane integration tests with the paths they leave
+uncovered: the ROUTE_TO_NEXTHOP re-encapsulation, longest-prefix route
+selection, malformed-frame taxonomy, per-action counters and the exact
+byte layout of rewritten frames.
+"""
+
+import pytest
+
+from repro.dataplane.vxlan_gateway import ForwardAction, VxlanGateway
+from repro.packet import headers as hdr
+from repro.packet.flows import FlowKey, ip_from_str
+from repro.packet.parser import PacketParser, build_vxlan_frame
+
+VM_A = ip_from_str("172.16.0.10")
+VM_B = ip_from_str("172.16.0.20")
+NC_B = ip_from_str("10.0.1.2")
+VTEP = ip_from_str("10.0.0.254")
+IDC_VTEP = ip_from_str("10.8.0.1")
+IDC_VTEP_WIDE = ip_from_str("10.9.0.1")
+IDC_HOST = ip_from_str("100.65.3.7")
+INTERNET_HOST = ip_from_str("93.184.216.34")
+VNI = 7
+
+
+def inner_frame(src_ip, dst_ip, ttl=64, payload=b"data!", proto=hdr.IPPROTO_UDP,
+                ethertype=hdr.ETHERTYPE_IPV4):
+    ipv4 = hdr.Ipv4Header(
+        src_ip, dst_ip, proto, hdr.IPV4_MIN_LEN + len(payload), ttl=ttl
+    )
+    ethernet = hdr.EthernetHeader(
+        b"\x02\x00\x00\x00\x00\xbb", b"\x02\x00\x00\x00\x00\xaa", ethertype
+    )
+    return ethernet.pack() + ipv4.pack() + payload
+
+
+def encap(inner, vni=VNI, src_vtep=ip_from_str("10.0.9.9"), src_port=43210):
+    flow = FlowKey(src_vtep, VTEP, src_port, hdr.VXLAN_UDP_PORT, hdr.IPPROTO_UDP)
+    return build_vxlan_frame(flow, vni, inner)
+
+
+def make_gateway():
+    gateway = VxlanGateway(local_vtep_ip=VTEP)
+    gateway.map_vm(VNI, VM_B, NC_B)
+    # Longest-prefix pair toward an IDC, plus the internet default.
+    gateway.add_route(ip_from_str("100.65.0.0"), 16, IDC_VTEP_WIDE)
+    gateway.add_route(ip_from_str("100.65.3.0"), 24, IDC_VTEP)
+    gateway.add_route(0, 0, 0)
+    return gateway
+
+
+def parse(frame):
+    return PacketParser(split_headers=True).parse(frame)
+
+
+class TestRouteToNexthop:
+    def test_reencap_toward_idc_vtep(self):
+        gateway = make_gateway()
+        action, out = gateway.process_frame(encap(inner_frame(VM_A, IDC_HOST)))
+        assert action is ForwardAction.ROUTE_TO_NEXTHOP
+        parsed = parse(out)
+        assert parsed.ipv4.src_ip == VTEP
+        assert parsed.ipv4.dst_ip == IDC_VTEP
+        assert parsed.vni == VNI
+
+    def test_longest_prefix_wins(self):
+        gateway = make_gateway()
+        _, narrow = gateway.process_frame(encap(inner_frame(VM_A, IDC_HOST)))
+        assert parse(narrow).ipv4.dst_ip == IDC_VTEP
+        other_idc_host = ip_from_str("100.65.200.1")  # /16 only
+        _, wide = gateway.process_frame(encap(inner_frame(VM_A, other_idc_host)))
+        assert parse(wide).ipv4.dst_ip == IDC_VTEP_WIDE
+
+    def test_outer_udp_source_port_preserved(self):
+        """The entropy port survives re-encapsulation (ECMP stability)."""
+        gateway = make_gateway()
+        _, out = gateway.process_frame(
+            encap(inner_frame(VM_A, IDC_HOST), src_port=50505)
+        )
+        assert parse(out).udp.src_port == 50505
+
+    def test_inner_ttl_decremented_on_reencap(self):
+        gateway = make_gateway()
+        _, out = gateway.process_frame(encap(inner_frame(VM_A, IDC_HOST, ttl=9)))
+        inner_ip = hdr.Ipv4Header.unpack(
+            parse(out).payload_bytes[hdr.ETHERNET_LEN:]
+        )
+        assert inner_ip.ttl == 8
+
+    def test_no_route_dropped(self):
+        gateway = VxlanGateway(local_vtep_ip=VTEP)
+        gateway.add_tenant(VNI)
+        action, out = gateway.process_frame(
+            encap(inner_frame(VM_A, INTERNET_HOST))
+        )
+        assert action is ForwardAction.DROP_NO_ROUTE
+        assert out is None
+
+
+class TestDecapToBorder:
+    def test_exact_byte_layout(self):
+        """Decap output: fresh L2 + TTL-decremented inner IP + payload."""
+        gateway = make_gateway()
+        payload = b"exact-bytes"
+        _, out = gateway.process_frame(
+            encap(inner_frame(VM_A, INTERNET_HOST, ttl=64, payload=payload))
+        )
+        ethernet = hdr.EthernetHeader.unpack(out)
+        assert ethernet.ethertype == hdr.ETHERTYPE_IPV4
+        assert ethernet.dst_mac == gateway.border_mac
+        assert ethernet.src_mac == gateway.local_mac
+        ipv4 = hdr.Ipv4Header.unpack(out[hdr.ETHERNET_LEN:])  # checksum verified
+        assert ipv4.ttl == 63
+        assert ipv4.src_ip == VM_A
+        assert ipv4.dst_ip == INTERNET_HOST
+        assert out.endswith(payload)
+        assert len(out) == hdr.ETHERNET_LEN + hdr.IPV4_MIN_LEN + len(payload)
+
+    def test_no_overlay_bytes_remain(self):
+        gateway = make_gateway()
+        payload = b"data!"
+        _, out = gateway.process_frame(
+            encap(inner_frame(VM_A, INTERNET_HOST, payload=payload))
+        )
+        # The payload directly follows the inner IP header: no outer IP,
+        # UDP or VXLAN bytes survive the decap.
+        assert out[hdr.ETHERNET_LEN + hdr.IPV4_MIN_LEN:] == payload
+
+
+class TestEncapFrameArithmetic:
+    def test_lengths_consistent_end_to_end(self):
+        gateway = make_gateway()
+        payload = b"x" * 37
+        _, out = gateway.process_frame(
+            encap(inner_frame(VM_A, VM_B, payload=payload))
+        )
+        inner_len = hdr.ETHERNET_LEN + hdr.IPV4_MIN_LEN + len(payload)
+        assert len(out) == (
+            hdr.ETHERNET_LEN + hdr.IPV4_MIN_LEN + hdr.UDP_LEN + hdr.VXLAN_LEN
+            + inner_len
+        )
+        parsed = parse(out)
+        assert parsed.udp.length == hdr.UDP_LEN + hdr.VXLAN_LEN + inner_len
+        assert parsed.ipv4.total_length == (
+            hdr.IPV4_MIN_LEN + hdr.UDP_LEN + hdr.VXLAN_LEN + inner_len
+        )
+
+    def test_ttl_two_still_forwards(self):
+        """ttl=2 is forwardable (leaves at 1); ttl=1 is not."""
+        gateway = make_gateway()
+        action, out = gateway.process_frame(encap(inner_frame(VM_A, VM_B, ttl=2)))
+        assert action is ForwardAction.ENCAP_TO_NC
+        inner_ip = hdr.Ipv4Header.unpack(
+            parse(out).payload_bytes[hdr.ETHERNET_LEN:]
+        )
+        assert inner_ip.ttl == 1
+
+
+class TestMalformedTaxonomy:
+    def test_truncated_frame(self):
+        gateway = make_gateway()
+        action, out = gateway.process_frame(b"\x00" * 10)
+        assert action is ForwardAction.DROP_MALFORMED
+        assert out is None
+
+    def test_non_vxlan_frame(self):
+        gateway = make_gateway()
+        action, _ = gateway.process_frame(inner_frame(VM_A, VM_B))
+        assert action is ForwardAction.DROP_MALFORMED
+
+    def test_non_ipv4_inner(self):
+        gateway = make_gateway()
+        arp_inner = inner_frame(VM_A, VM_B, ethertype=0x0806)
+        action, _ = gateway.process_frame(encap(arp_inner))
+        assert action is ForwardAction.DROP_MALFORMED
+
+    def test_truncated_inner(self):
+        gateway = make_gateway()
+        whole = inner_frame(VM_A, VM_B)
+        action, _ = gateway.process_frame(encap(whole[: hdr.ETHERNET_LEN + 4]))
+        assert action is ForwardAction.DROP_MALFORMED
+
+
+class TestControlPlaneAndCounters:
+    def test_map_vm_implies_known_tenant(self):
+        gateway = VxlanGateway(local_vtep_ip=VTEP)
+        gateway.map_vm(99, VM_B, NC_B)
+        assert 99 in gateway.known_tenants
+
+    def test_counters_track_every_action(self):
+        gateway = make_gateway()
+        gateway.process_frame(encap(inner_frame(VM_A, VM_B)))          # east-west
+        gateway.process_frame(encap(inner_frame(VM_A, IDC_HOST)))      # next-hop
+        gateway.process_frame(encap(inner_frame(VM_A, INTERNET_HOST)))  # border
+        gateway.process_frame(encap(inner_frame(VM_A, VM_B), vni=999))
+        gateway.process_frame(b"junk")
+        gateway.process_frame(encap(inner_frame(VM_A, VM_B, ttl=1)))
+        counters = gateway.counters
+        assert counters[ForwardAction.ENCAP_TO_NC] == 1
+        assert counters[ForwardAction.ROUTE_TO_NEXTHOP] == 1
+        assert counters[ForwardAction.DECAP_TO_BORDER] == 1
+        assert counters[ForwardAction.DROP_UNKNOWN_TENANT] == 1
+        assert counters[ForwardAction.DROP_MALFORMED] == 1
+        assert counters[ForwardAction.DROP_TTL_EXPIRED] == 1
+        assert counters[ForwardAction.DROP_NO_ROUTE] == 0
+        assert sum(counters.values()) == 6

@@ -1,0 +1,109 @@
+"""Dedicated tests for the table memory-footprint accounting.
+
+The footprint model backs two paper claims: gateway tables occupy
+*several GB* (far beyond any L3 cache, hence the 30-45% hit-rate
+regime) and far beyond Tofino-class SRAM (Tab. 6: >10M LPM routes vs
+0.2M).  These tests pin the arithmetic and the claim-scale numbers.
+"""
+
+import pytest
+
+from repro.tables.footprint import GiB, MiB, TableFootprint, gateway_table_footprint
+
+
+class TestTableFootprint:
+    def test_empty_footprint_is_zero(self):
+        footprint = TableFootprint()
+        assert footprint.total_bytes() == 0
+        assert footprint.rows() == []
+
+    def test_total_is_sum_of_products(self):
+        footprint = (
+            TableFootprint()
+            .add("a", 10, 100)
+            .add("b", 3, 7)
+        )
+        assert footprint.total_bytes() == 10 * 100 + 3 * 7
+
+    def test_add_chains(self):
+        footprint = TableFootprint()
+        assert footprint.add("a", 1, 1) is footprint
+
+    def test_zero_entries_allowed(self):
+        """An empty table is a valid row (it just costs nothing)."""
+        footprint = TableFootprint().add("empty", 0, 320)
+        assert footprint.total_bytes() == 0
+        assert footprint.rows() == [("empty", 0, 320)]
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            TableFootprint().add("bad", -1, 320)
+
+    def test_nonpositive_entry_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TableFootprint().add("bad", 10, 0)
+        with pytest.raises(ValueError):
+            TableFootprint().add("bad", 10, -8)
+
+    def test_rows_returns_a_copy(self):
+        footprint = TableFootprint().add("a", 1, 1)
+        footprint.rows().clear()
+        assert len(footprint.rows()) == 1
+
+    def test_duplicate_names_both_counted(self):
+        """Rows are an append-only ledger, not a keyed table."""
+        footprint = TableFootprint().add("t", 5, 10).add("t", 5, 10)
+        assert footprint.total_bytes() == 100
+
+    def test_repr_mentions_scale(self):
+        footprint = TableFootprint().add("big", 1 << 30, 2)
+        text = repr(footprint)
+        assert "1 tables" in text
+        assert "2.00 GiB" in text
+
+
+class TestGatewayFootprint:
+    def test_default_lands_in_the_several_gib_regime(self):
+        total = gateway_table_footprint().total_bytes()
+        assert 2 * GiB < total < 10 * GiB
+
+    def test_default_table_set(self):
+        names = [name for name, _, _ in gateway_table_footprint().rows()]
+        assert names == [
+            "vm_nc_mapping",
+            "vxlan_routes_lpm",
+            "tenant_config",
+            "flow_cache",
+        ]
+
+    def test_exact_arithmetic(self):
+        footprint = gateway_table_footprint(
+            tenants=1000,
+            flows_per_tenant=2,
+            vm_per_tenant=3,
+            lpm_routes=5000,
+            entry_bytes=100,
+        )
+        expected = (
+            1000 * 3 * 100     # vm_nc_mapping
+            + 5000 * 64        # vxlan_routes_lpm
+            + 1000 * 512       # tenant_config
+            + 1000 * 2 * 128   # flow_cache
+        )
+        assert footprint.total_bytes() == expected
+
+    def test_footprint_scales_with_tenants(self):
+        small = gateway_table_footprint(tenants=10_000).total_bytes()
+        large = gateway_table_footprint(tenants=1_000_000).total_bytes()
+        assert large > small
+
+    def test_tofino_scale_routes_fit_in_sram_budget(self):
+        """Tab. 6: a 0.2M-route table is SRAM-sized; 10M routes are not.
+
+        Tofino-class switches hold tens of MiB of SRAM; the paper's
+        10M-route DRAM table is orders of magnitude beyond that.
+        """
+        tofino_routes = TableFootprint().add("lpm", 200_000, 64)
+        albatross_routes = TableFootprint().add("lpm", 10_000_000, 64)
+        assert tofino_routes.total_bytes() < 64 * MiB
+        assert albatross_routes.total_bytes() > 512 * MiB
