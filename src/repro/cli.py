@@ -18,6 +18,13 @@ Commands:
 * ``sweep`` -- shard a named parameter sweep (:mod:`repro.fleet`)
   across worker processes and write the merged ``SWEEP_repro.json``;
   the merged report is byte-identical for any ``--workers`` count.
+  Every run is durably recorded under ``RUNS/<run-id>/`` (one atomic
+  JSON file per completed shard); ``--resume <run-id>`` re-runs only
+  the missing/stale shards and merges to the same bytes as an
+  uninterrupted run.
+* ``runs`` -- query the durable run store: ``list`` runs and their
+  completion, ``show`` one run shard-by-shard, ``compare`` renders a
+  cross-run trajectory table over run ids and SWEEP/BENCH artifacts.
 * ``migrate`` -- run a named live-migration scenario (or ``all``) from
   :mod:`repro.controlplane.scenarios` and print its drain/blackout
   report.  Honours ``REPRO_SANITIZE=1`` the same way ``faults`` does.
@@ -148,6 +155,40 @@ def build_parser():
     sweep.add_argument(
         "--output", default="SWEEP_repro.json",
         help="merged report path (default: SWEEP_repro.json)",
+    )
+    sweep.add_argument(
+        "--runs-dir", default="RUNS",
+        help="durable run store root (default: RUNS)",
+    )
+    sweep.add_argument(
+        "--run-id", default=None,
+        help="run directory name (default: <sweep>-<timestamp>)",
+    )
+    sweep.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume an interrupted run: shards whose cached result "
+             "matches the current spec hash are served from disk",
+    )
+
+    runs = commands.add_parser(
+        "runs", help="query the durable run store and past artifacts"
+    )
+    runs.add_argument(
+        "--runs-dir", default="RUNS",
+        help="durable run store root (default: RUNS)",
+    )
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+    runs_commands.add_parser("list", help="list runs and their completion")
+    runs_show = runs_commands.add_parser(
+        "show", help="per-shard status and metrics for one run"
+    )
+    runs_show.add_argument("run_id", help="run id under the runs dir")
+    runs_compare = runs_commands.add_parser(
+        "compare", help="cross-run trajectory table over artifacts"
+    )
+    runs_compare.add_argument(
+        "artifacts", nargs="+", metavar="RUN_OR_PATH",
+        help="run ids and/or SWEEP_*.json / BENCH_*.json paths",
     )
 
     migrate = commands.add_parser(
@@ -334,7 +375,11 @@ def cmd_bench(args):
         print(f"  {name}: {entry['wall_s']:.3f} s wall{rate_text}")
 
     if baseline is not None:
-        regressions = compare_to_baseline(report, baseline, budget)
+        try:
+            regressions = compare_to_baseline(report, baseline, budget)
+        except ValueError as error:
+            print(f"baseline comparison failed: {error}", file=sys.stderr)
+            return 2
         if regressions:
             print(f"\nregressions beyond {budget:.0%} vs {args.baseline}:")
             for item in regressions:
@@ -414,16 +459,58 @@ def cmd_inventory(_args):
 
 def cmd_sweep(args):
     from repro.fleet import (
-        build_sweep, default_workers, run_sweep, write_sweep_report,
+        ShardFailure, build_sweep, default_workers, run_sweep,
+        sweep_to_json, write_sweep_report,
     )
+    from repro.runs import RunStore, RunStoreError
 
     shards = build_sweep(args.name, quick=args.quick, seed=args.seed)
     workers = args.workers if args.workers > 0 else default_workers()
-    report = run_sweep(args.name, shards, workers=workers, seed=args.seed)
+    store = RunStore(args.runs_dir)
+    try:
+        if args.resume is not None:
+            run = store.resume(
+                args.resume, args.name, args.seed, shards, quick=args.quick
+            )
+        else:
+            run = store.create(
+                args.name, args.seed, shards,
+                run_id=args.run_id, quick=args.quick,
+            )
+    except RunStoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        report = run_sweep(
+            args.name, shards, workers=workers, seed=args.seed, run=run
+        )
+    except ShardFailure as error:
+        # Completed shards are already durable; name the run to resume.
+        print(str(error), file=sys.stderr)
+        print(
+            f"completed shards are saved; resume with: "
+            f"python -m repro sweep {args.name}"
+            f"{' --quick' if args.quick else ''} --resume {run.run_id}",
+            file=sys.stderr,
+        )
+        return 1
+    text = sweep_to_json(report)
     write_sweep_report(report, args.output)
-    print(f"sweep {args.name}: {len(shards)} shard(s) -> {args.output}")
+    run.write_merged(text)
+    cached = report.cached_shards
+    print(
+        f"sweep {args.name}: run {run.run_id}: "
+        f"{cached} cached + {len(shards) - cached} simulated shard(s) "
+        f"-> {args.output}"
+    )
     print(report.render())
     return 0
+
+
+def cmd_runs(args):
+    from repro.runs.query import cmd_runs as run_query
+
+    return run_query(args, err=lambda message: print(message, file=sys.stderr))
 
 
 def main(argv=None):
@@ -434,6 +521,7 @@ def main(argv=None):
         "faults": cmd_faults,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "runs": cmd_runs,
         "migrate": cmd_migrate,
         "lint": cmd_lint,
         "sanitize": cmd_sanitize,

@@ -19,6 +19,7 @@ Layering:
 """
 
 from repro.fleet.engine import (
+    ShardFailure,
     default_workers,
     pool_map,
     run_shard,
@@ -45,6 +46,7 @@ __all__ = [
     "MAX_SHARDS",
     "SCHEMA_VERSION",
     "SWEEP_FACTORIES",
+    "ShardFailure",
     "ShardSpec",
     "SweepReport",
     "build_sweep",

@@ -10,7 +10,7 @@ strict: **the merged report is byte-identical whether the sweep ran on
   return only the plain-data run report -- no live simulator state ever
   crosses a process boundary, so a shard computes the same report
   in-process (``workers=1`` runs without a pool) or in a worker.
-* Results come back via ``Pool.map``, which returns them in
+* Results come back via ordered ``Pool.imap``, which yields them in
   **submission order** regardless of completion order; the merge then
   folds shard 0, 1, 2, ... identically under any worker count (the
   determinism linter's DET005 bans the completion-order APIs).
@@ -21,14 +21,43 @@ What may run in a worker: pure simulation from a spec.  What must stay
 in the parent: merging (reservoir thinning draws from the parent's
 merge rng), report rendering, and anything that touches the ordering of
 shards.
+
+Durability rides on the same ordering: when ``run_sweep`` is given a
+:class:`~repro.runs.store.Run`, each shard result is persisted the
+moment it comes off the (ordered) pool iterator, so a sweep killed at
+shard k resumes with shards ``0..k-1`` served from disk and the merged
+artifact still byte-identical to an uninterrupted run.
 """
 
 import multiprocessing
 import os
+import traceback
 
 from repro.fleet.report import SweepReport, merge_run_reports
+from repro.runs.atomic import atomic_write_json, atomic_write_text
+from repro.runs.store import spec_fingerprint
 from repro.scenarios.build import build
 from repro.scenarios.spec import ScenarioSpec
+
+
+class ShardFailure(RuntimeError):
+    """A shard raised inside a worker; the message names the shard."""
+
+
+def _payload_label(payload):
+    """Human-readable shard identity for error messages."""
+    if isinstance(payload, dict):
+        index = payload.get("index")
+        axes = payload.get("axes")
+        if index is not None:
+            label = f"shard {index}"
+            if axes:
+                label += " " + ", ".join(f"{k}={v}" for k, v in sorted(axes.items()))
+            return label
+        spec = payload.get("spec")
+        if isinstance(spec, dict) and spec.get("name"):
+            return f"payload {spec['name']!r}"
+    return "payload"
 
 
 def run_shard(payload):
@@ -36,10 +65,67 @@ def run_shard(payload):
 
     Top-level (picklable) and dependent only on its payload, so the
     result is identical no matter which process runs it.
+
+    Two optional payload keys wire in mid-shard durability:
+
+    * ``resume_checkpoint`` -- a ``SimCheckpoint`` snapshot; the shard
+      restores it and simulates only the remaining sim-time (the report
+      is byte-identical to a from-zero run, see
+      ``tests/test_properties_checkpoint.py``).
+    * ``checkpoint_path`` -- where the shard's periodic checkpointer
+      persists its latest snapshot (atomic write), keyed by the shard's
+      spec fingerprint so a resume can validate it.
     """
     spec = ScenarioSpec.from_dict(payload["spec"])
-    report = build(spec).run().report()
+    handle = build(spec)
+    checkpoint_path = payload.get("checkpoint_path")
+    if checkpoint_path is not None and handle.checkpointer is not None:
+        fingerprint = payload.get("spec_hash") or spec_fingerprint(spec)
+
+        def _persist(snapshot):
+            atomic_write_json(checkpoint_path, {
+                "schema_version": 1,
+                "spec_hash": fingerprint,
+                "checkpoint": snapshot,
+            })
+
+        handle.checkpointer.sink = _persist
+    snapshot = payload.get("resume_checkpoint")
+    if snapshot is not None:
+        handle.restore_checkpoint(snapshot)
+        handle.run(spec.duration_ns - handle.sim.now)
+    else:
+        handle.run()
+    report = handle.report()
     return {"index": payload["index"], "axes": payload["axes"], "report": report}
+
+
+def _worker_call(task):
+    """Run ``fn(payload)`` in a worker, capturing failures as data.
+
+    A raised exception travels back as a plain dict instead of killing
+    the pool with a bare remote traceback; the parent re-raises it as a
+    :class:`ShardFailure` that names the shard and its axes.
+    """
+    fn, payload = task
+    try:
+        return {"ok": True, "value": fn(payload)}
+    except Exception as error:  # noqa: BLE001 - reported, not swallowed
+        return {
+            "ok": False,
+            "label": _payload_label(payload),
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+        }
+
+
+def _unwrap(outcome):
+    if outcome["ok"]:
+        return outcome["value"]
+    raise ShardFailure(
+        f"{outcome['label']} failed with {outcome['error']}\n"
+        f"--- worker traceback ---\n{outcome['traceback']}"
+    )
 
 
 def _pool_context():
@@ -65,32 +151,107 @@ def _export_import_path():
         )
 
 
-def pool_map(fn, payloads, workers):
+def pool_map(fn, payloads, workers, on_result=None):
     """Order-preserving parallel map (the bench harness reuses this).
 
     ``workers <= 1`` runs inline -- same code path, no pool -- so a
     parallel run can always be cross-checked against a serial one.
+
+    ``on_result(payload, result)`` fires in submission order as each
+    result lands (the durable run store persists shards through it).
+    A shard exception surfaces as :class:`ShardFailure` naming the
+    shard/axes; ``KeyboardInterrupt`` terminates the pool immediately
+    instead of hanging in the context-manager join while stragglers
+    finish.
     """
     payloads = list(payloads)
     if workers <= 1 or len(payloads) <= 1:
-        return [fn(payload) for payload in payloads]
+        results = []
+        for payload in payloads:
+            try:
+                result = fn(payload)
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                raise ShardFailure(
+                    f"{_payload_label(payload)} failed with "
+                    f"{type(error).__name__}: {error}"
+                ) from error
+            if on_result is not None:
+                on_result(payload, result)
+            results.append(result)
+        return results
     _export_import_path()
     context = _pool_context()
     processes = min(workers, len(payloads))
-    with context.Pool(processes=processes) as pool:
-        return pool.map(fn, payloads)
+    pool = context.Pool(processes=processes)
+    try:
+        results = []
+        tasks = [(fn, payload) for payload in payloads]
+        # Ordered imap: submission-order results (determinism) delivered
+        # incrementally (durability) -- unlike map, which buffers all.
+        for payload, outcome in zip(payloads, pool.imap(_worker_call, tasks)):
+            result = _unwrap(outcome)
+            if on_result is not None:
+                on_result(payload, result)
+            results.append(result)
+        pool.close()
+        pool.join()
+        return results
+    except BaseException:
+        # Covers KeyboardInterrupt and ShardFailure alike: kill
+        # stragglers now rather than joining on them.
+        pool.terminate()
+        pool.join()
+        raise
 
 
-def run_sweep(name, shards, workers=1, seed=42):
-    """Run ``shards`` across ``workers`` processes; return a SweepReport."""
+def run_sweep(name, shards, workers=1, seed=42, run=None):
+    """Run ``shards`` across ``workers`` processes; return a SweepReport.
+
+    With ``run`` (a :class:`repro.runs.store.Run`), every completed
+    shard is durably recorded and shards whose cached result matches the
+    current spec fingerprint are served from disk without re-simulating.
+    The merge always folds results in shard-index order, so cached and
+    fresh shards produce the same bytes as a cold run.
+    """
+    shards = list(shards)
     if not shards:
         raise ValueError("a sweep needs at least one shard")
-    payloads = [shard.to_dict() for shard in shards]
-    results = pool_map(run_shard, payloads, workers)
+
+    fingerprints = {shard.index: spec_fingerprint(shard.spec) for shard in shards}
+    results_by_index = {}
+    pending = []
+    for shard in shards:
+        fingerprint = fingerprints[shard.index]
+        cached = run.load_shard(shard.index, fingerprint) if run is not None else None
+        if cached is not None:
+            results_by_index[shard.index] = cached
+            continue
+        payload = shard.to_dict()
+        payload["spec_hash"] = fingerprint
+        if run is not None:
+            payload["checkpoint_path"] = run.checkpoint_path(shard.index)
+            snapshot = run.load_checkpoint(shard.index, fingerprint)
+            if snapshot is not None:
+                payload["resume_checkpoint"] = snapshot
+        pending.append(payload)
+
+    on_result = None
+    if run is not None:
+        def on_result(payload, result):
+            run.record_shard(payload["index"], payload["spec_hash"], result)
+
+    for result in pool_map(run_shard, pending, workers, on_result=on_result):
+        results_by_index[result["index"]] = result
+
+    results = [results_by_index[shard.index] for shard in shards]
     merged = merge_run_reports(
         [result["report"] for result in results], seed=seed
     )
-    return SweepReport(name=name, seed=seed, shard_results=results, merged=merged)
+    report = SweepReport(name=name, seed=seed, shard_results=results, merged=merged)
+    report.cached_shards = len(shards) - len(pending)
+    return report
 
 
 def sweep_to_json(report):
@@ -101,8 +262,7 @@ def sweep_to_json(report):
 
 
 def write_sweep_report(report, path):
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(sweep_to_json(report))
+    atomic_write_text(path, sweep_to_json(report))
 
 
 def default_workers():

@@ -77,6 +77,11 @@ def _shard_row(result):
     latencies = [
         LatencyHistogram.from_dict(pod["latency"]) for pod in pods.values()
     ]
+    # A report can legitimately carry zero pods (a control-plane-only
+    # scenario); its row gets zeroed latency instead of an IndexError.
+    if not latencies:
+        row["mean_us"] = row["p99_us"] = 0.0
+        return row
     merged = latencies[0] if len(latencies) == 1 else _merge_all(latencies)
     if merged.count:
         row["mean_us"] = round(merged.mean_ns / US, 2)
@@ -87,8 +92,14 @@ def _shard_row(result):
 
 
 def _merge_all(histograms):
-    base = histograms[0]
-    for other in histograms[1:]:
+    # Merge into a fresh histogram: LatencyHistogram.merge mutates its
+    # receiver, and histograms[0] may be (or alias) a caller-held pod
+    # histogram that must survive rows() unchanged.
+    first = histograms[0]
+    base = LatencyHistogram(
+        bucket_factor=first.bucket_factor, max_samples=first.max_samples
+    )
+    for other in histograms:
         base.merge(other)
     return base
 

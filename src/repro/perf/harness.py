@@ -153,10 +153,10 @@ def run_bench(quick=False, names=None, repeat=1, workers=1):
 
 
 def write_report(report, path):
-    """Write the report as deterministic-key-order JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
+    """Write the report as deterministic-key-order JSON (atomically)."""
+    from repro.runs.atomic import atomic_write_text
+
+    atomic_write_text(path, json.dumps(dict(report), indent=2) + "\n")
 
 
 def parse_max_regress(text):
@@ -176,6 +176,25 @@ def parse_max_regress(text):
     return fraction
 
 
+def _usable(value):
+    """True for a rate metric comparisons can use: a non-zero number.
+
+    ``None`` (a scenario that reported no events), missing keys and
+    string debris from hand-edited baselines all fail this test.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool) and value
+
+
+def _timing(value):
+    """True for a usable ``wall_s``: any number, **including zero**.
+
+    A sub-resolution wall time legitimately rounds to 0.0; treating it
+    as missing would make the comparison flap between runs of the same
+    code.  (A zero *rate* stays unusable -- it means "not measured".)
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def compare_to_baseline(report, baseline, max_regress):
     """Compare ``report`` against ``baseline``; return regression records.
 
@@ -186,22 +205,58 @@ def compare_to_baseline(report, baseline, max_regress):
     *grow* beyond ``(1 + max_regress)``.  Scenarios missing from either
     side are skipped -- the bench set may grow over time without
     invalidating old baselines.
+
+    A scenario that reports no events emits ``events_per_sec: null``;
+    such entries fall through to the next metric.  A scenario with no
+    usable metric *in the current report* is skipped (it measured
+    nothing, so nothing can regress); one whose report is measurable but
+    whose baseline entry carries only nulls or non-numeric debris raises
+    ``ValueError`` naming the scenario (a truncated or hand-edited
+    baseline must fail loudly, not TypeError deep inside a comparison).
     """
+    baseline_scenarios = (
+        baseline.get("scenarios") if isinstance(baseline, dict) else None
+    )
+    if not isinstance(baseline_scenarios, dict):
+        raise ValueError(
+            "baseline is not a bench report (no 'scenarios' mapping); "
+            "re-create it with: python -m repro bench"
+        )
     regressions = []
-    baseline_scenarios = baseline.get("scenarios", {})
     for name, entry in report.get("scenarios", {}).items():
         base = baseline_scenarios.get(name)
         if base is None:
             continue
-        for metric in ("events_per_sec", "wall_pps", "wall_s"):
+        if not isinstance(base, dict):
+            raise ValueError(
+                f"baseline entry for scenario {name!r} is not a mapping; "
+                "the baseline file may be truncated or hand-edited"
+            )
+        metrics = ("events_per_sec", "wall_pps", "wall_s")
+        for metric in metrics:
             new_value = entry.get(metric)
             old_value = base.get(metric)
-            if new_value and old_value:
+            ok = _timing if metric == "wall_s" else _usable
+            if ok(new_value) and ok(old_value):
                 break
         else:
-            continue
+            if not any(
+                (_timing if metric == "wall_s" else _usable)(entry.get(metric))
+                for metric in metrics
+            ):
+                # The scenario measured nothing on our side either (an
+                # aggregate suite too fast to time) -- nothing to regress.
+                continue
+            raise ValueError(
+                f"scenario {name!r} has no comparable metric pair: the "
+                "report carries a usable metric but the baseline's "
+                "events_per_sec / wall_pps / wall_s are all null or "
+                "missing (truncated or hand-edited baseline?)"
+            )
         if metric == "wall_s":
-            regressed = new_value > old_value * (1.0 + max_regress)
+            # A zero baseline wall time cannot be judged (and must not
+            # divide); anything measured against it passes.
+            regressed = old_value > 0 and new_value > old_value * (1.0 + max_regress)
         else:
             regressed = new_value < old_value * (1.0 - max_regress)
         if regressed:

@@ -1,0 +1,29 @@
+"""Durable run store: crash-safe sweep artifacts and resumable runs.
+
+Only the storage layer is imported eagerly; the query layer
+(:mod:`repro.runs.query`) imports :mod:`repro.fleet.report` and is
+loaded lazily by the CLI to keep ``repro.fleet`` -> ``repro.runs``
+import edges acyclic.
+"""
+
+from repro.runs.atomic import atomic_write_json, atomic_write_text, read_json
+from repro.runs.store import (
+    MERGED_NAME,
+    Run,
+    RunStore,
+    RunStoreError,
+    canonical_bytes,
+    spec_fingerprint,
+)
+
+__all__ = [
+    "MERGED_NAME",
+    "Run",
+    "RunStore",
+    "RunStoreError",
+    "atomic_write_json",
+    "atomic_write_text",
+    "canonical_bytes",
+    "read_json",
+    "spec_fingerprint",
+]

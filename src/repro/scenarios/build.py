@@ -89,6 +89,9 @@ class RunHandle:
         # The MigrationController when spec.migration is set; it swaps
         # the migrated pod's entry in self.pods in place on restore.
         self.migration = migration
+        # The SimCheckpointer when spec.checkpoint_every_ns is set
+        # (attached by build() after sources exist).
+        self.checkpointer = None
 
     @property
     def pod(self):
@@ -114,6 +117,45 @@ class RunHandle:
     def run_for(self, duration_ns):
         """Alias kept for :class:`ScaledPod` compatibility."""
         return self.run(duration_ns)
+
+    def restore_checkpoint(self, snapshot):
+        """Adopt a ``SimCheckpoint`` on a freshly built handle.
+
+        After this the handle behaves as if it had simulated up to the
+        snapshot's instant: ``run(spec.duration_ns - sim.now)`` finishes
+        the shard and :meth:`report` is byte-identical to a from-zero
+        run (the checkpoint invariant test drives this at random
+        simtimes).
+
+        Restore order: clock, rng streams (in place -- components keep
+        their bindings), pod state, then every pending event re-created
+        in ``(time, seq)`` order so same-timestamp ties replay exactly.
+        Only valid on a handle that has not run yet.
+        """
+        from repro.controlplane.snapshot import CHECKPOINT_SCHEMA_VERSION
+
+        if self.checkpointer is None:
+            raise ValueError(
+                f"scenario {self.spec.name!r} has no checkpoint cadence "
+                "(set spec.checkpoint_every_ns)"
+            )
+        version = snapshot.get("schema_version")
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"checkpoint schema {version!r} is not "
+                f"{CHECKPOINT_SCHEMA_VERSION}"
+            )
+        self.sim.restore_clock(snapshot["sim"])
+        self.rngs.restore(snapshot["rngs"])
+        for name, pod in self.pods.items():
+            pod.restore_state(snapshot["pods"][name])
+        rearms = list(self.checkpointer.restore(snapshot))
+        for source, source_snapshot in zip(self.sources, snapshot["sources"]):
+            rearms.extend(source.restore(source_snapshot))
+        rearms.sort(key=lambda entry: (entry[0], entry[1]))
+        for _time, _seq, rearm in rearms:
+            rearm()
+        return self
 
     def report(self):
         """The deterministic per-run report (the fleet's merge unit)."""
@@ -194,7 +236,14 @@ def build(spec, sim=None, rngs=None, pod_extras=None):
             raise ValueError(f"scenario {spec.name!r} has a workload but no pods")
         sources.append(_attach_workload(spec, sim, rngs, pods, migration))
 
-    return RunHandle(spec, sim, rngs, server, pods, sources, migration=migration)
+    handle = RunHandle(spec, sim, rngs, server, pods, sources, migration=migration)
+    if spec.checkpoint_every_ns is not None:
+        from repro.controlplane.snapshot import SimCheckpointer
+
+        handle.checkpointer = SimCheckpointer(
+            sim, rngs, pods, sources, spec.checkpoint_every_ns
+        )
+    return handle
 
 
 def _attach_workload(spec, sim, rngs, pods, migration=None):

@@ -80,6 +80,9 @@ def fleet_steady(quick=False, tenants=1000):
         ),
         duration_ns=(40 if quick else 200) * MS,
         seed=42,
+        # Periodic SimCheckpoints: a killed tenant-scaling shard resumes
+        # from its last quiescent 10 ms boundary instead of zero.
+        checkpoint_every_ns=10 * MS,
     )
 
 

@@ -237,10 +237,16 @@ class ScenarioSpec:
         migration: optional :class:`MigrationSpec`; build time attaches a
             :class:`~repro.controlplane.migration.MigrationController`
             that executes it as clock-driven events.
+        checkpoint_every_ns: optional periodic ``SimCheckpoint`` cadence;
+            build time attaches a :class:`~repro.controlplane.snapshot.
+            SimCheckpointer` that freezes the whole deployment every
+            that many sim-ns (at quiescent instants), giving long shards
+            a restart point.  Mutually exclusive with ``migration`` --
+            a mid-migration deployment is not quiescent-restorable.
     """
 
     def __init__(self, name, pods=(), workload=None, duration_ns=0, seed=42,
-                 migration=None):
+                 migration=None, checkpoint_every_ns=None):
         _require(bool(name), "a scenario needs a name")
         pods = tuple(pods)
         seen = set()
@@ -252,12 +258,22 @@ class ScenarioSpec:
                 migration.pod in seen,
                 f"migration targets unknown pod {migration.pod!r}",
             )
+        if checkpoint_every_ns is not None:
+            _require(
+                checkpoint_every_ns > 0,
+                "checkpoint_every_ns must be > 0 when set",
+            )
+            _require(
+                migration is None,
+                "checkpoint_every_ns cannot be combined with a migration",
+            )
         self.name = name
         self.pods = pods
         self.workload = workload
         self.duration_ns = duration_ns
         self.seed = seed
         self.migration = migration
+        self.checkpoint_every_ns = checkpoint_every_ns
 
     def to_dict(self):
         return {
@@ -269,6 +285,7 @@ class ScenarioSpec:
             "migration": (
                 None if self.migration is None else self.migration.to_dict()
             ),
+            "checkpoint_every_ns": self.checkpoint_every_ns,
         }
 
     @classmethod
@@ -286,6 +303,8 @@ class ScenarioSpec:
                 None if data.get("migration") is None
                 else MigrationSpec.from_dict(data["migration"])
             ),
+            # .get: specs serialized before checkpointing existed load fine.
+            checkpoint_every_ns=data.get("checkpoint_every_ns"),
         )
 
     def with_overrides(self, seed=None, duration_ns=None, overrides=None):

@@ -50,14 +50,18 @@ class Event:
     popped (lazy deletion), which is O(1) instead of O(n).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim", "seq")
 
-    def __init__(self, time, fn, args, sim=None):
+    def __init__(self, time, fn, args, sim=None, seq=0):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
         self._sim = sim
+        # The heap tie-break, exposed so checkpoints can record the
+        # relative order of same-timestamp pending events (restore
+        # re-creates them sorted by (time, seq)).
+        self.seq = seq
 
     def cancel(self):
         """Prevent the callback from firing.  Idempotent."""
@@ -148,7 +152,7 @@ class Simulator:
                 )
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + int(delay)
-        event = Event(time, fn, args, self)
+        event = Event(time, fn, args, self, self._sequence)
         _heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
         self._live_events += 1
@@ -166,7 +170,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, fn, args, self)
+        event = Event(time, fn, args, self, self._sequence)
         _heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
         self._live_events += 1
@@ -305,6 +309,36 @@ class Simulator:
             self._running = False
         if not self._stopped:
             self._now = max(self._now, end_time)
+
+    def checkpoint(self):
+        """Clock state as plain data (see ``controlplane/snapshot.py``).
+
+        Only the clock and the processed-event count are captured -- the
+        heap itself holds closures and is deliberately *not* serialized.
+        Checkpoints are taken at quiescent instants where every pending
+        event belongs to a component that knows how to re-create it from
+        its own ``checkpoint()`` (sources reschedule their next tick, the
+        checkpointer its next fire); see ``SimCheckpointer``.
+        """
+        return {"now": self._now, "events_processed": self._events_processed}
+
+    def restore_clock(self, snapshot):
+        """Jump the clock forward to a checkpoint's instant.
+
+        Must be called between runs (never from inside a handler) and
+        can only move time forward: stale events scheduled before the
+        restored instant (e.g. a freshly built source's first tick) must
+        be cancelled by their owners' ``restore()`` before they fire.
+        """
+        if self._running:
+            raise SimulationError("cannot restore the clock mid-run")
+        now = int(snapshot["now"])
+        if now < self._now:
+            raise SimulationError(
+                f"cannot restore clock backwards to t={now} (now={self._now})"
+            )
+        self._now = now
+        self._events_processed = int(snapshot["events_processed"])
 
     def every(self, interval, fn, *args, start_delay=None, jitter_fn=None):
         """Schedule ``fn(*args)`` periodically.

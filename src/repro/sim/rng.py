@@ -83,8 +83,16 @@ class RngRegistry:
         }
 
     def restore(self, snapshot):
-        """Re-derive and reposition every stream from a checkpoint."""
+        """Reposition every stream from a checkpoint, **in place**.
+
+        Existing stream objects are repositioned rather than replaced:
+        components bind their stream at construction (``pod.rng``, a
+        source's draw stream), so dropping ``_streams`` and re-deriving
+        would silently orphan every live binding -- the registry would
+        advance while the components kept drawing from frozen clones.
+        Streams named by the snapshot but not yet materialized here are
+        created on demand by :meth:`stream` and then repositioned.
+        """
         self.seed = snapshot["seed"]
-        self._streams.clear()
         for name, state in snapshot["streams"]:
             set_rng_state(self.stream(name), state)

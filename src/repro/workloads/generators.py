@@ -150,6 +150,54 @@ class CbrSource(_SourceBase):
             self._next_event.cancel()
             self._next_event = None
 
+    def checkpoint(self):
+        """Plain-data source state, including the pending tick event.
+
+        ``next_tick`` records the pending tick's absolute time *and*
+        heap sequence so a restore can re-create same-timestamp events
+        in their original firing order (see
+        ``RunHandle.restore_checkpoint``).
+        """
+        return {
+            "kind": "cbr",
+            "rate_pps": self.rate_pps,
+            "emitted": self.emitted,
+            "running": self._running,
+            "next_tick": _event_ref(self._next_event),
+        }
+
+    def restore(self, snapshot):
+        """Restore state; return rearm entries for pending events.
+
+        Does **not** schedule anything itself -- each ``(time, seq,
+        rearm)`` entry is executed by the caller after sorting across
+        all components, so ties land in their checkpointed order.
+        """
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        self.rate_pps = snapshot["rate_pps"]
+        self._interval = (
+            max(1, int(SECOND / self.rate_pps)) if self.rate_pps > 0 else None
+        )
+        self.emitted = snapshot["emitted"]
+        self._running = snapshot["running"]
+        rearms = []
+        pending = snapshot["next_tick"]
+        if pending is not None:
+            def rearm(time=pending["time"]):
+                self._next_event = self.sim.schedule_at(time, self._tick)
+
+            rearms.append((pending["time"], pending["seq"], rearm))
+        return rearms
+
+
+def _event_ref(event):
+    """``{"time", "seq"}`` for a live event, ``None`` otherwise."""
+    if event is None or event.cancelled:
+        return None
+    return {"time": event.time, "seq": event.seq}
+
 
 class PoissonSource(_SourceBase):
     """Poisson arrivals at a mean ``rate_pps``."""

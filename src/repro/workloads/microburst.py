@@ -5,7 +5,7 @@ a single RSS-pinned core up ~50% while barely moving a PLB-sprayed pod.
 :class:`MicroburstSource` layers random bursts on top of a base rate.
 """
 
-from repro.workloads.generators import CbrSource
+from repro.workloads.generators import CbrSource, _event_ref
 from repro.sim.units import MS
 
 
@@ -35,11 +35,16 @@ class MicroburstSource(CbrSource):
         self.burst_period_ns = burst_period_ns
         self.bursts_started = 0
         self._in_burst = False
+        # The one pending burst-cycle event (a burst start or a burst
+        # end), tracked so checkpoints can capture and restores re-arm it.
+        self._burst_event = None
+        self._burst_event_kind = None
         self._schedule_burst()
 
     def _schedule_burst(self):
         gap = self.rng.expovariate(1.0 / self.burst_period_ns)
-        self.sim.schedule(max(1, int(gap)), self._start_burst)
+        self._burst_event = self.sim.schedule(max(1, int(gap)), self._start_burst)
+        self._burst_event_kind = "start"
 
     def _start_burst(self):
         if not self._running and self.rate_pps == 0:
@@ -47,7 +52,8 @@ class MicroburstSource(CbrSource):
         self._in_burst = True
         self.bursts_started += 1
         self.set_rate(int(self.base_rate_pps * self.burst_factor))
-        self.sim.schedule(self.burst_duration_ns, self._end_burst)
+        self._burst_event = self.sim.schedule(self.burst_duration_ns, self._end_burst)
+        self._burst_event_kind = "end"
 
     def _end_burst(self):
         self._in_burst = False
@@ -58,3 +64,47 @@ class MicroburstSource(CbrSource):
     @property
     def in_burst(self):
         return self._in_burst
+
+    def stop(self):
+        """Stop emission *and* the burst cycle.
+
+        Without cancelling the pending burst event, a burst start firing
+        after ``stop()`` would call ``set_rate`` and revive the source
+        (its guard sees the stale non-zero ``rate_pps``) -- traffic kept
+        flowing into drained pods long after the caller stopped it.
+        """
+        super().stop()
+        if self._burst_event is not None:
+            self._burst_event.cancel()
+            self._burst_event = None
+            self._burst_event_kind = None
+
+    def checkpoint(self):
+        snapshot = super().checkpoint()
+        snapshot["kind"] = "microburst"
+        burst_event = _event_ref(self._burst_event)
+        if burst_event is not None:
+            burst_event["fires"] = self._burst_event_kind
+        snapshot["bursts_started"] = self.bursts_started
+        snapshot["in_burst"] = self._in_burst
+        snapshot["burst_event"] = burst_event
+        return snapshot
+
+    def restore(self, snapshot):
+        if self._burst_event is not None:
+            self._burst_event.cancel()
+            self._burst_event = None
+            self._burst_event_kind = None
+        rearms = super().restore(snapshot)
+        self.bursts_started = snapshot["bursts_started"]
+        self._in_burst = snapshot["in_burst"]
+        pending = snapshot["burst_event"]
+        if pending is not None:
+            fn = self._start_burst if pending["fires"] == "start" else self._end_burst
+
+            def rearm(time=pending["time"], fn=fn, kind=pending["fires"]):
+                self._burst_event = self.sim.schedule_at(time, fn)
+                self._burst_event_kind = kind
+
+            rearms.append((pending["time"], pending["seq"], rearm))
+        return rearms

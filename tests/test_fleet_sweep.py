@@ -132,6 +132,25 @@ class TestMerge:
             p["latency"]["count"] for r in reports for p in r["pods"].values()
         )
 
+    def test_shard_row_with_zero_pods_is_zeroed_not_indexerror(self):
+        # Regression: a control-plane-only report (no pods) used to hit
+        # latencies[0] and die with an IndexError while rendering rows.
+        from repro.fleet.report import _shard_row
+
+        result = {
+            "index": 5,
+            "axes": {"replica": 5},
+            "report": {
+                "scenario": "ctrl-only", "seed": 9, "duration_ns": 10,
+                "sim_ns": 10, "events": 2, "pods": {},
+            },
+        }
+        row = _shard_row(result)
+        assert row["shard"] == 5
+        assert row["packets"] == 0
+        assert row["mean_us"] == 0.0
+        assert row["p99_us"] == 0.0
+
     def test_run_shard_round_trips_the_wire_format(self):
         payload = {"index": 2, "axes": {"tenants": 4}, "spec": _tiny_spec().to_dict()}
         result = run_shard(payload)
@@ -176,6 +195,9 @@ class TestSweepCli:
         assert args.seed == 42
         assert args.output == "SWEEP_repro.json"
         assert not args.quick
+        assert args.runs_dir == "RUNS"
+        assert args.run_id is None
+        assert args.resume is None
 
     def test_names_synced_with_fleet_registry(self):
         assert SWEEPS == sweep_names()
@@ -188,7 +210,7 @@ class TestSweepCli:
         output = tmp_path / "sweep.json"
         code = main([
             "sweep", "seed-replication", "--quick", "--workers", "2",
-            "--output", str(output),
+            "--output", str(output), "--runs-dir", str(tmp_path / "RUNS"),
         ])
         assert code == 0
         out = capsys.readouterr().out

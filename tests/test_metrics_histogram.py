@@ -109,6 +109,33 @@ class TestMerge:
         assert merged.merge(LatencyHistogram()) is merged
         assert merged.count == 1
 
+    def test_merge_does_not_mutate_source(self):
+        merged = LatencyHistogram()
+        source = LatencyHistogram()
+        for value in (3, 7, 11):
+            source.record(value)
+        before = source.to_dict()
+        merged.merge(source)
+        assert source.to_dict() == before
+
+    def test_fleet_merge_all_does_not_mutate_inputs(self):
+        # _merge_all must fold into a FRESH histogram: its first input may
+        # alias a caller-held pod histogram (regression: it used to merge
+        # the rest into histograms[0] in place).
+        from repro.fleet.report import _merge_all
+
+        first = LatencyHistogram()
+        second = LatencyHistogram()
+        first.record(10)
+        second.record(20)
+        before_first = first.to_dict()
+        before_second = second.to_dict()
+        merged = _merge_all([first, second])
+        assert merged is not first and merged is not second
+        assert merged.count == 2
+        assert first.to_dict() == before_first
+        assert second.to_dict() == before_second
+
     def test_merge_self_rejected(self):
         histogram = LatencyHistogram()
         with pytest.raises(ValueError, match="itself"):

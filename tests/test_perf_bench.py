@@ -95,6 +95,55 @@ class TestCompareToBaseline:
         old = _report(a={"events_per_sec": 100.0})
         assert compare_to_baseline(new, old, 0.10) == []
 
+    def test_baseline_without_scenarios_raises_value_error(self):
+        new = _report(a={"events_per_sec": 1.0})
+        for junk in ({}, {"scenarios": None}, [], None, "text"):
+            with pytest.raises(ValueError, match="re-create it"):
+                compare_to_baseline(new, junk, 0.10)
+
+    def test_baseline_entry_not_a_mapping_raises_value_error(self):
+        new = _report(a={"events_per_sec": 1.0})
+        old = _report(a="truncated")
+        with pytest.raises(ValueError, match="'a'.*not a mapping"):
+            compare_to_baseline(new, old, 0.10)
+
+    def test_null_ridden_baseline_raises_value_error_not_type_error(self):
+        # Regression: garbage baseline metrics used to reach
+        # `old_value * (1.0 + ...)` and die with a TypeError.
+        new = _report(a={"events_per_sec": 100.0})
+        old = _report(
+            a={"events_per_sec": None, "wall_pps": None, "wall_s": "fast"}
+        )
+        with pytest.raises(ValueError, match="'a' has no comparable metric"):
+            compare_to_baseline(new, old, 0.10)
+
+    def test_unmeasurable_scenario_is_skipped(self):
+        # An aggregate suite that reports nothing measurable cannot
+        # regress; it must not fail the comparison either.
+        new = _report(a={"events_per_sec": None, "wall_pps": None})
+        old = _report(a={"events_per_sec": 100.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
+    def test_zero_wall_s_is_a_measurement_not_a_gap(self):
+        # Sub-resolution scenarios round wall_s to 0.0; that must stay
+        # comparable (never flap to "missing") and a zero baseline can
+        # never flag a regression or divide by zero.
+        new = _report(a={"wall_s": 2e-06})
+        old = _report(a={"wall_s": 0.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+        assert compare_to_baseline(old, new, 0.10) == []
+
+    def test_metric_null_on_baseline_side_falls_through(self):
+        new = _report(a={"events_per_sec": 100.0, "wall_pps": 50.0})
+        old = _report(a={"events_per_sec": None, "wall_pps": 100.0})
+        regressions = compare_to_baseline(new, old, 0.10)
+        assert regressions and regressions[0]["metric"] == "wall_pps"
+
+    def test_boolean_debris_is_not_a_usable_metric(self):
+        new = _report(a={"events_per_sec": True, "wall_s": 1.0})
+        old = _report(a={"events_per_sec": True, "wall_s": 1.0})
+        assert compare_to_baseline(new, old, 0.10) == []
+
 
 class TestRunBench:
     def test_schema(self, fake_scenarios):
@@ -193,6 +242,17 @@ class TestBenchCli:
         ])
         assert code == 1
         assert "regressions beyond" in capsys.readouterr().out
+
+    def test_malformed_baseline_exits_2(self, fake_scenarios, tmp_path, capsys):
+        baseline = tmp_path / "junk.json"
+        baseline.write_text("{}")
+        code = main([
+            "bench", "--quick",
+            "--output", str(tmp_path / "bench.json"),
+            "--baseline", str(baseline),
+        ])
+        assert code == 2
+        assert "baseline comparison failed" in capsys.readouterr().err
 
     def test_bad_max_regress_exits_2(self, fake_scenarios, tmp_path, capsys):
         code = main([

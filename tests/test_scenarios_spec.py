@@ -88,6 +88,35 @@ class TestSpecValidation:
         with pytest.raises(ValueError, match="unknown scenario"):
             scenario_spec("nope")
 
+    def test_checkpoint_cadence_must_be_positive(self):
+        with pytest.raises(ValueError, match="checkpoint_every_ns"):
+            _spec(checkpoint_every_ns=0)
+        with pytest.raises(ValueError, match="checkpoint_every_ns"):
+            _spec(checkpoint_every_ns=-5)
+
+    def test_checkpoint_cadence_excludes_migration(self):
+        from repro.scenarios.spec import MigrationSpec
+
+        migration = MigrationSpec(pod="pod", start_ns=MS)
+        with pytest.raises(ValueError, match="cannot be combined"):
+            _spec(migration=migration, checkpoint_every_ns=MS)
+
+    def test_checkpoint_cadence_round_trips(self):
+        spec = _spec(checkpoint_every_ns=2 * MS)
+        restored = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored.checkpoint_every_ns == 2 * MS
+
+    def test_pre_checkpoint_wire_format_loads(self):
+        data = _spec().to_dict()
+        del data["checkpoint_every_ns"]
+        assert ScenarioSpec.from_dict(data).checkpoint_every_ns is None
+
+    def test_build_attaches_checkpointer_only_when_requested(self):
+        assert build(_spec()).checkpointer is None
+        handle = build(_spec(checkpoint_every_ns=MS))
+        assert handle.checkpointer is not None
+        assert handle.checkpointer.every_ns == MS
+
 
 class TestOverrides:
     def test_dotted_override_reaches_nested_fields(self):

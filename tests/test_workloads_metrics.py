@@ -177,6 +177,33 @@ class TestMicroburst:
         sim.run_until(1 * SECOND)
         assert not source.in_burst or source.rate_pps > 10_000
 
+    def test_stop_sticks_across_pending_burst(self):
+        """A pending burst start must not revive a stopped source.
+
+        Regression: ``stop()`` left the burst-cycle event armed; when it
+        fired, ``set_rate`` restarted emission and the "stopped" source
+        kept injecting packets forever (seen as migration-drain property
+        failures with phantom in-flight packets).
+        """
+        sim = Simulator()
+        received = []
+        population = uniform_population(10)
+        source = MicroburstSource(
+            sim,
+            RngRegistry(1).stream("s"),
+            lambda p: received.append(sim.now),
+            population,
+            base_rate_pps=10_000,
+            burst_factor=10.0,
+            burst_duration_ns=10 * MS,
+            burst_period_ns=30 * MS,
+        )
+        sim.schedule_at(10 * MS, source.stop)
+        sim.run_until(1 * SECOND)
+        assert not source._running
+        # Nothing may arrive after the stop instant.
+        assert all(t <= 10 * MS for t in received)
+
 
 class TestTenants:
     def test_rate_changes_applied(self):
