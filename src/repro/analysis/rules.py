@@ -1,24 +1,14 @@
-"""The determinism rules (DET001..DET005).
+"""The determinism (DET) rules.
 
 Each rule targets one way the "same seed => byte-identical output"
-guarantee silently breaks:
-
-* **DET001** -- ambient entropy/clocks (``random``, ``time``,
-  ``os.urandom``) bypass the named-seed registry in :mod:`repro.sim.rng`.
-* **DET002** -- iterating an unsorted ``dict``/``set`` where the result
-  feeds ``Simulator.schedule*`` or a ``dispatch`` decision makes event
-  order depend on hash order.
-* **DET003** -- ``==``/``!=`` on float-valued simtime: the engine's clock
-  is integer nanoseconds precisely so equality is exact; any float in an
-  equality comparison reintroduces rounding surprises.
-* **DET004** -- hand-rolled event heaps (``heapq``, ``queue.PriorityQueue``,
-  ``sched``) bypass the engine's tie-breaking sequence numbers, so
-  same-timestamp events fire in undefined order.
-* **DET005** -- completion-order parallelism (``imap_unordered``,
-  ``as_completed``) yields worker results in an order that varies with
-  host load, so merged reports stop being byte-identical across runs;
-  fold results in submission order (``Pool.map`` /
-  :func:`repro.fleet.pool_map`) instead.
+guarantee silently breaks: ambient entropy and clocks, hash-order
+iteration feeding scheduling, float simtime equality, hand-rolled event
+heaps, and completion-order parallelism.  The authoritative inventory --
+every registered code with its one-line summary, including the SNAP
+snapshot-completeness rules in :mod:`repro.analysis.snaprules` -- is
+generated from the registry by ``python -m repro lint --list-rules``;
+this docstring deliberately does not enumerate codes that would go
+stale.
 """
 
 import ast
@@ -32,17 +22,30 @@ SCHEDULING_CALLS = frozenset({"schedule", "schedule_at", "every", "dispatch"})
 ORDERING_WRAPPERS = frozenset({"sorted", "list", "tuple", "min", "max"})
 
 
+def _is_datetime_name(node):
+    """Does ``node`` name the datetime module or class (``datetime`` /
+    ``datetime.datetime``)?"""
+    if isinstance(node, ast.Name):
+        return node.id == "datetime"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "datetime"
+    return False
+
+
 @register
 class EntropyRule(LintRule):
     """DET001: entropy and clocks must come from ``repro.sim.rng``."""
 
     code = "DET001"
     summary = (
-        "no direct random/time/os.urandom use; derive entropy and clocks "
-        "from repro.sim.rng streams and the simulator clock"
+        "no direct random/time/os.urandom/datetime.now/uuid1/uuid4 use; "
+        "derive entropy and clocks from repro.sim.rng streams and the "
+        "simulator clock"
     )
     EXEMPT_SUFFIXES = ("repro/sim/rng.py",)
     FORBIDDEN_MODULES = frozenset({"random", "time"})
+    #: Bare callables that are ambient entropy wherever they appear.
+    ENTROPY_CALLABLES = frozenset({"urandom", "uuid1", "uuid4"})
 
     def visit_Import(self, node):
         for alias in node.names:
@@ -63,20 +66,58 @@ class EntropyRule(LintRule):
                 f"direct import from {root!r}: use repro.sim.rng streams "
                 f"(entropy) or the Simulator clock (time)",
             )
+        elif root == "os":
+            for alias in node.names:
+                if alias.name == "urandom":
+                    self.report(
+                        node,
+                        "from os import urandom is unseedable entropy: "
+                        "derive randomness from a repro.sim.rng stream",
+                    )
+        elif root == "uuid":
+            for alias in node.names:
+                if alias.name in ("uuid1", "uuid4"):
+                    self.report(
+                        node,
+                        f"from uuid import {alias.name} is ambient entropy "
+                        f"(host clock/MAC/os.urandom): derive identifiers "
+                        f"from a repro.sim.rng stream",
+                    )
         self.generic_visit(node)
 
     def visit_Call(self, node):
         func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr == "urandom"
-            and isinstance(func.value, ast.Name)
-            and func.value.id == "os"
-        ):
+        if isinstance(func, ast.Attribute):
+            if func.attr == "urandom" and isinstance(func.value, ast.Name) \
+                    and func.value.id == "os":
+                self.report(
+                    node,
+                    "os.urandom is unseedable entropy: derive randomness "
+                    "from a repro.sim.rng stream",
+                )
+            elif func.attr in ("uuid1", "uuid4") and isinstance(
+                func.value, ast.Name
+            ) and func.value.id == "uuid":
+                self.report(
+                    node,
+                    f"uuid.{func.attr}() is ambient entropy (host "
+                    f"clock/MAC/os.urandom): derive identifiers from a "
+                    f"repro.sim.rng stream",
+                )
+            elif func.attr in ("now", "utcnow") and _is_datetime_name(
+                func.value
+            ):
+                self.report(
+                    node,
+                    f"datetime.{func.attr}() reads the host wall clock: "
+                    f"simulation time comes from the Simulator clock "
+                    f"(integer nanoseconds)",
+                )
+        elif isinstance(func, ast.Name) and func.id in self.ENTROPY_CALLABLES:
             self.report(
                 node,
-                "os.urandom is unseedable entropy: derive randomness from "
-                "a repro.sim.rng stream",
+                f"bare {func.id}() is ambient entropy: derive randomness "
+                f"from a repro.sim.rng stream",
             )
         self.generic_visit(node)
 

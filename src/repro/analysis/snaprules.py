@@ -1,0 +1,204 @@
+"""Snapshot-completeness rules (SNAP001..SNAP004).
+
+The live-migration and resumable-sweep guarantees are only as good as the
+hand-written ``checkpoint()``/``restore()`` pairs that implement them.
+Each rule here targets one way the captured state set silently stops
+being total (run ``python -m repro lint --list-rules`` for the one-line
+inventory):
+
+* **SNAP001** -- an attribute is mutated somewhere in the class but the
+  snapshot methods never touch it: a restored instance silently diverges
+  the first time a workload exercises that attribute.
+* **SNAP002** -- the checkpoint and restore key sets disagree: a key is
+  written but never read back (dead weight, or worse, state the author
+  *thought* was restored) or read but never written (KeyError at restore
+  time on another machine).
+* **SNAP003** -- a checkpoint-capable class builds an instance of a
+  stateful class that has no snapshot methods at all: a whole component
+  is missing from the captured subtree.
+* **SNAP004** -- a class creates its own named rng stream via
+  ``derived_stream`` but its checkpoint never captures the stream
+  position: restored instances replay a different random sequence.
+
+Findings anchor to stable lines (the ``__init__`` assignment for
+attributes, the construction site for SNAP003) so a reasoned
+``# lint: disable=SNAP00x(why)`` suppression sits next to the state it
+exempts and survives unrelated edits.
+"""
+
+from repro.analysis.registry import (
+    LintRule,
+    ProjectLintRule,
+    register,
+    register_project,
+)
+from repro.analysis.reporter import Finding
+from repro.analysis.statemodel import extract_models
+
+
+@register
+class SnapUncapturedMutationRule(LintRule):
+    """SNAP001: every mutated attribute must appear in the snapshot."""
+
+    code = "SNAP001"
+    summary = (
+        "every attribute a snapshot-aware class mutates must be read by "
+        "checkpoint() or written by restore(); un-captured state diverges "
+        "silently after a restore"
+    )
+
+    def run(self, tree):
+        for model in extract_models(tree, self.path):
+            if not model.snapshot_aware or model.dynamic:
+                continue
+            captured = model.captured_attrs()
+            for name in sorted(model.attrs):
+                state = model.attrs[name]
+                if not state.mutated or name in captured:
+                    continue
+                where = ", ".join(
+                    str(line) for line in state.mutation_lines[:3]
+                )
+                self.report(
+                    None,
+                    f"{model.name}.{name} is mutated (line {where}) but "
+                    f"never captured by "
+                    f"{model.checkpoint.name if model.checkpoint else 'checkpoint'}()"
+                    f"/restore; a restored instance silently drops this "
+                    f"state",
+                    line=state.anchor_line(),
+                    col=0,
+                )
+        return self.findings
+
+
+@register
+class SnapAsymmetricKeysRule(LintRule):
+    """SNAP002: checkpoint and restore must agree on the key set."""
+
+    code = "SNAP002"
+    summary = (
+        "checkpoint() dict keys and the keys restore() reads back must "
+        "match exactly; an asymmetric pair is unrestored or unrestorable "
+        "state"
+    )
+
+    def run(self, tree):
+        for model in extract_models(tree, self.path):
+            checkpoint, restorer = model.checkpoint, model.restorer
+            if checkpoint is None or restorer is None or model.dynamic:
+                continue
+            if not checkpoint.keys or not restorer.keys:
+                # Non-literal capture (slot loops, delegation): nothing
+                # to compare statically.
+                continue
+            if checkpoint.keys_open or restorer.keys_open:
+                # One side delegates part of its key set to another
+                # callable; the static sets are lower bounds only and any
+                # asymmetry would be speculative.
+                continue
+            saved = set(checkpoint.keys)
+            read = set(restorer.keys)
+            for key in sorted(saved - read):
+                self.report(
+                    None,
+                    f"{model.name}.checkpoint() writes key {key!r} but "
+                    f"{restorer.name}() never reads it back",
+                    line=checkpoint.keys[key],
+                    col=0,
+                )
+            for key in sorted(read - saved):
+                self.report(
+                    None,
+                    f"{model.name}.{restorer.name}() reads key {key!r} "
+                    f"but checkpoint() never writes it",
+                    line=restorer.keys[key],
+                    col=0,
+                )
+        return self.findings
+
+
+@register
+class SnapUncapturedRngRule(LintRule):
+    """SNAP004: derived rng streams must checkpoint their position."""
+
+    code = "SNAP004"
+    summary = (
+        "a class that creates its own derived_stream() must capture the "
+        "stream position (rng_state) in checkpoint(); otherwise restored "
+        "instances replay a different random sequence"
+    )
+
+    def run(self, tree):
+        for model in extract_models(tree, self.path):
+            if model.checkpoint is None or model.dynamic:
+                continue
+            captured = model.captured_attrs()
+            for name in sorted(model.attrs):
+                state = model.attrs[name]
+                if state.rng_line is None or name in captured:
+                    continue
+                self.report(
+                    None,
+                    f"{model.name}.{name} is a derived_stream whose "
+                    f"position is never captured by checkpoint(); restored "
+                    f"instances will draw a different random sequence",
+                    line=state.rng_line,
+                    col=0,
+                )
+        return self.findings
+
+
+@register_project
+class SnapMissingCheckpointRule(ProjectLintRule):
+    """SNAP003: stateful classes in a checkpointed subtree need snapshots."""
+
+    code = "SNAP003"
+    summary = (
+        "a checkpoint-capable class must not build instances of stateful "
+        "classes that define no checkpoint()/restore(snapshot); the whole "
+        "component would vanish from the captured subtree"
+    )
+
+    def run_project(self, models_by_path):
+        index = {}
+        for models in models_by_path.values():
+            for model in models:
+                index.setdefault(model.name, []).append(model)
+
+        findings = []
+        seen = set()
+        for path in sorted(models_by_path):
+            for model in models_by_path[path]:
+                if not model.snapshot_aware:
+                    continue
+                for cls_name, line in model.constructed:
+                    candidates = index.get(cls_name)
+                    if not candidates:
+                        continue
+                    if any(c.snapshot_aware for c in candidates):
+                        continue
+                    stateful = [c for c in candidates if c.stateful]
+                    if not stateful:
+                        continue
+                    key = (path, line, cls_name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    target = stateful[0]
+                    mutated = sorted(
+                        name for name, attr in target.attrs.items()
+                        if attr.mutated
+                    )
+                    shown = ", ".join(mutated[:4])
+                    findings.append(
+                        Finding(
+                            path, line, 0, self.code,
+                            f"{model.name} builds {cls_name} "
+                            f"({target.path}:{target.lineno}), which "
+                            f"mutates {shown} but defines no "
+                            f"checkpoint()/restore(snapshot); its state "
+                            f"vanishes from the captured subtree",
+                        )
+                    )
+        return findings

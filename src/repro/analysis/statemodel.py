@@ -1,0 +1,459 @@
+"""Per-class state models: what a class mutates vs what it snapshots.
+
+The checkpoint/restore pairs that live migration (:mod:`repro.controlplane`)
+and resumable sweeps (:mod:`repro.fleet`) rest on are hand-written: every
+stateful component enumerates its own mutable attributes in ``checkpoint()``
+and reads them back in ``restore()``.  That enumeration drifts silently --
+add one mutable attribute without touching ``checkpoint()`` and restored
+shards diverge bytes-wise only under the workloads that exercise it.
+
+This module extracts, per class, a **state model** from the AST:
+
+* attributes assigned in ``__init__`` (and which of them are built by
+  calling another class's constructor, or by ``derived_stream``);
+* attributes mutated anywhere else in the class body -- plain assignment,
+  ``+=`` augments, item stores (``self.x[k] = v``), ``del``, and container
+  mutator calls (``self.x.append(...)`` and friends);
+* the snapshot surface: dict keys written by ``checkpoint()`` and keys
+  read back by the restore-side method, plus every ``self`` attribute the
+  snapshot methods touch.
+
+The SNAP rules in :mod:`repro.analysis.snaprules` cross-check the two
+sides; the runtime prober in :mod:`repro.analysis.statecheck` turns the
+same models into checkpoint -> restore -> checkpoint byte-equality probes.
+
+Conventions the extractor relies on (and the tree follows):
+
+* the checkpoint side is a zero-argument method named ``checkpoint``;
+* the restore side is a method named ``restore``/``restore_state``/
+  ``restore_clock`` whose first parameter is named ``snapshot`` (or
+  ``state``), or a ``from_checkpoint`` classmethod.  ``restore(self)``
+  overloads that take no snapshot (crash recovery) are deliberately not
+  snapshot methods;
+* dynamic capture (``getattr(self, name)`` / ``setattr(self, name, ...)``
+  with a non-constant name) marks the model as not statically analyzable
+  and the attribute-level rules stand down for that class.
+"""
+
+import ast
+
+#: Method calls on an attribute that mutate the underlying container.
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "push", "remove", "reverse", "rotate",
+    "setdefault", "sort", "update",
+})
+
+#: Restore-side method names (first parameter must be snapshot-ish).
+RESTORE_METHOD_NAMES = frozenset({"restore", "restore_state", "restore_clock"})
+
+#: Parameter names that mark a restore-side method's snapshot argument.
+SNAPSHOT_PARAM_NAMES = frozenset({"snapshot", "state"})
+
+
+class AttributeState:
+    """One ``self`` attribute of a class: where it is born and mutated."""
+
+    __slots__ = (
+        "name", "init_line", "mutation_lines", "ctor_class", "rng_line",
+    )
+
+    def __init__(self, name):
+        self.name = name
+        self.init_line = None       # first assignment line in __init__
+        self.mutation_lines = []    # lines mutated outside init/snapshot methods
+        self.ctor_class = None      # class name if built as self.x = Cls(...)
+        self.rng_line = None        # line of self.x = derived_stream(...)
+
+    @property
+    def mutated(self):
+        return bool(self.mutation_lines)
+
+    def anchor_line(self):
+        """Stable line to report (and suppress) findings about this attr."""
+        if self.init_line is not None:
+            return self.init_line
+        return self.mutation_lines[0]
+
+
+class SnapshotMethod:
+    """One side of a checkpoint/restore pair, as seen in the AST."""
+
+    __slots__ = ("name", "lineno", "keys", "attrs", "dynamic", "keys_open")
+
+    def __init__(self, name, lineno):
+        self.name = name
+        self.lineno = lineno
+        self.keys = {}      # snapshot dict key -> line it appears on
+        self.attrs = set()  # self attributes read or written by the method
+        self.dynamic = False  # getattr/setattr with a non-constant name
+        # True when the key set is not statically total: the snapshot is
+        # built by (or handed whole to) another callable, or a dict
+        # literal carries a ** spread.  Key-symmetry checks stand down.
+        self.keys_open = False
+
+
+class ClassStateModel:
+    """The extracted state model for one class definition."""
+
+    __slots__ = (
+        "name", "path", "lineno", "attrs", "checkpoint", "restorer",
+        "constructed", "methods",
+    )
+
+    def __init__(self, name, path, lineno):
+        self.name = name
+        self.path = path
+        self.lineno = lineno
+        self.attrs = {}          # attr name -> AttributeState
+        self.checkpoint = None   # SnapshotMethod or None
+        self.restorer = None     # SnapshotMethod or None
+        self.constructed = []    # (class name, line) built outside snapshot methods
+        self.methods = set()
+
+    @property
+    def snapshot_aware(self):
+        """Does the class participate in the checkpoint protocol at all?"""
+        return self.checkpoint is not None or self.restorer is not None
+
+    @property
+    def dynamic(self):
+        """True when capture is via getattr/setattr loops (not analyzable)."""
+        for method in (self.checkpoint, self.restorer):
+            if method is not None and method.dynamic:
+                return True
+        return False
+
+    @property
+    def stateful(self):
+        """Does any attribute mutate outside ``__init__``?"""
+        return any(attr.mutated for attr in self.attrs.values())
+
+    def captured_attrs(self):
+        """Attributes the snapshot methods touch (read or restore)."""
+        captured = set()
+        for method in (self.checkpoint, self.restorer):
+            if method is not None:
+                captured |= method.attrs
+        return captured
+
+    def attr(self, name):
+        state = self.attrs.get(name)
+        if state is None:
+            state = self.attrs[name] = AttributeState(name)
+        return state
+
+
+def _self_rooted_attr(node):
+    """The outermost ``self`` attribute a target/callee expression touches.
+
+    ``self.x`` -> ``x``; ``self.stats.processed`` -> ``stats``;
+    ``self.table[k]`` -> ``table``; anything not rooted at ``self`` -> None.
+    """
+    attr = None
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == "self" and attr is not None:
+        return attr
+    return None
+
+
+def _called_class_name(func):
+    """The class a call constructs, if its name looks like a class."""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    if name[:1].isupper():
+        return name
+    return None
+
+
+def _is_restore_method(node):
+    """Snapshot-restoring method?  (See the module docstring convention.)"""
+    if node.name == "from_checkpoint":
+        return True
+    if node.name not in RESTORE_METHOD_NAMES:
+        return False
+    args = node.args.args
+    # args[0] is self; the snapshot must arrive as the first real param.
+    if len(args) < 2:
+        return False
+    return args[1].arg in SNAPSHOT_PARAM_NAMES
+
+
+def _is_checkpoint_method(node):
+    return node.name == "checkpoint"
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Collect self-attribute reads/writes/mutations within one method."""
+
+    def __init__(self):
+        self.reads = set()       # self.x appearing anywhere
+        self.mutations = []      # (attr, line)
+        self.init_assigns = []   # (attr, line, value node) -- plain self.x = v
+        self.dynamic = False
+
+    def _record_target(self, target):
+        attr = _self_rooted_attr(target)
+        if attr is not None:
+            self.mutations.append((attr, target.lineno))
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    self._record_target(element)
+                    if (
+                        isinstance(element, ast.Attribute)
+                        and isinstance(element.value, ast.Name)
+                        and element.value.id == "self"
+                    ):
+                        self.init_assigns.append(
+                            (element.attr, node.lineno, None)
+                        )
+            else:
+                self._record_target(target)
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.init_assigns.append((target.attr, node.lineno, node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._record_target(node.target)
+            if (
+                isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+            ):
+                self.init_assigns.append(
+                    (node.target.attr, node.lineno, node.value)
+                )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node):
+        self._record_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node):
+        for target in node.targets:
+            self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATOR_METHODS:
+                attr = _self_rooted_attr(func.value)
+                if attr is not None:
+                    self.mutations.append((attr, node.lineno))
+        elif isinstance(func, ast.Name) and func.id in ("getattr", "setattr"):
+            if (
+                len(node.args) >= 2
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in ("self", "cls")
+                and not isinstance(node.args[1], ast.Constant)
+            ):
+                self.dynamic = True
+                if func.id == "setattr":
+                    self.mutations.append(("<dynamic>", node.lineno))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            self.reads.add(node.attr)
+        self.generic_visit(node)
+
+
+def _returned_names(method):
+    names = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+            names.add(node.value.id)
+    return names
+
+
+def _collect_checkpoint_keys(method, snapshot):
+    """Top-level string keys of the dict(s) ``checkpoint`` produces.
+
+    When the returned dict is seeded by another callable
+    (``snapshot = self.to_dict()``) or a literal carries a ``**`` spread,
+    the static key set is a lower bound only: ``keys_open`` is set and
+    key-symmetry rules stand down for this side.
+    """
+    returned = _returned_names(method)
+
+    def take_dict_keys(dict_node):
+        for key in dict_node.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                snapshot.keys.setdefault(key.value, key.lineno)
+            elif key is None:  # ``{**base, ...}`` spread
+                snapshot.keys_open = True
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Return):
+            if isinstance(node.value, ast.Dict):
+                take_dict_keys(node.value)
+            elif not isinstance(node.value, (ast.Name, ast.Constant)):
+                # ``return self._snap()`` and friends: delegation.
+                snapshot.keys_open = True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in returned:
+                    if isinstance(node.value, ast.Dict):
+                        take_dict_keys(node.value)
+                    else:
+                        # ``snapshot = self.to_dict()``: the base keys are
+                        # not statically visible.
+                        snapshot.keys_open = True
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in returned
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    snapshot.keys.setdefault(target.slice.value, target.lineno)
+
+
+def _snapshot_param_name(method):
+    args = method.args.args
+    if len(args) >= 2:
+        return args[1].arg
+    return None
+
+
+def _collect_restore_keys(method, snapshot):
+    """Keys the restore side reads off its snapshot parameter.
+
+    Passing the whole snapshot to another callable
+    (``self._impl.restore(snapshot)``) means keys may be read elsewhere:
+    ``keys_open`` is set and key-symmetry rules stand down for this side.
+    """
+    param = _snapshot_param_name(method)
+    if param is None:
+        return
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == param:
+                    snapshot.keys_open = True
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            snapshot.keys.setdefault(node.slice.value, node.lineno)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == param
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            snapshot.keys.setdefault(node.args[0].value, node.lineno)
+
+
+def _scan_snapshot_method(method):
+    """Build a :class:`SnapshotMethod` from a checkpoint/restore def."""
+    snapshot = SnapshotMethod(method.name, method.lineno)
+    scan = _MethodScan()
+    scan.visit(method)
+    snapshot.attrs = set(scan.reads)
+    snapshot.dynamic = scan.dynamic
+    if method.name == "from_checkpoint":
+        # Classmethod: the restored instance is a local, so count every
+        # attribute store (``bucket._tokens = ...``) as a captured attr.
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Store
+            ):
+                snapshot.attrs.add(node.attr)
+        _collect_restore_keys(method, snapshot)
+    elif method.name == "checkpoint":
+        _collect_checkpoint_keys(method, snapshot)
+    else:
+        _collect_restore_keys(method, snapshot)
+    return snapshot
+
+
+def extract_models(tree, path):
+    """Extract a :class:`ClassStateModel` for every class in ``tree``."""
+    models = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            models.append(_extract_class(node, path))
+    return models
+
+
+def _extract_class(class_node, path):
+    model = ClassStateModel(class_node.name, path, class_node.lineno)
+    for item in class_node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        model.methods.add(item.name)
+        is_snapshot_side = False
+        if _is_checkpoint_method(item) and model.checkpoint is None:
+            model.checkpoint = _scan_snapshot_method(item)
+            is_snapshot_side = True
+        elif _is_restore_method(item) and model.restorer is None:
+            model.restorer = _scan_snapshot_method(item)
+            is_snapshot_side = True
+
+        scan = _MethodScan()
+        scan.visit(item)
+        if item.name == "__init__":
+            for attr, line, value in scan.init_assigns:
+                state = model.attr(attr)
+                if state.init_line is None:
+                    state.init_line = line
+                if isinstance(value, ast.Call):
+                    ctor = _called_class_name(value.func)
+                    if ctor is not None and state.ctor_class is None:
+                        state.ctor_class = ctor
+                    if (
+                        isinstance(value.func, ast.Name)
+                        and value.func.id == "derived_stream"
+                        and state.rng_line is None
+                    ):
+                        state.rng_line = line
+        elif not is_snapshot_side:
+            for attr, line in scan.mutations:
+                if attr == "<dynamic>":
+                    continue
+                model.attr(attr).mutation_lines.append(line)
+            # derived_stream bound outside __init__ (lazy creation).
+            for attr, line, value in scan.init_assigns:
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "derived_stream"
+                ):
+                    state = model.attr(attr)
+                    if state.rng_line is None:
+                        state.rng_line = line
+        if not is_snapshot_side:
+            # Construction sites feed SNAP003; snapshot methods rebuild
+            # objects from plain data, which is not a capture gap.
+            for call in ast.walk(item):
+                if isinstance(call, ast.Call):
+                    ctor = _called_class_name(call.func)
+                    if ctor is not None:
+                        model.constructed.append((ctor, call.lineno))
+    for state in model.attrs.values():
+        state.mutation_lines.sort()
+    return model

@@ -28,8 +28,14 @@ Commands:
 * ``migrate`` -- run a named live-migration scenario (or ``all``) from
   :mod:`repro.controlplane.scenarios` and print its drain/blackout
   report.  Honours ``REPRO_SANITIZE=1`` the same way ``faults`` does.
-* ``lint`` -- run the determinism linter (:mod:`repro.analysis`) over
-  source trees; exits 1 on findings.
+* ``lint`` -- run the static analyzers (:mod:`repro.analysis`) over
+  source trees: determinism rules plus the snapshot-completeness (SNAP)
+  rules.  ``--list-rules`` prints the authoritative inventory from the
+  registry; ``--select`` narrows the run to matching codes.  Exits 1 on
+  findings.
+* ``statecheck`` -- build a live scenario and execute
+  checkpoint -> restore -> checkpoint byte-equality probes against every
+  discovered checkpoint-capable component; exits 1 on a mismatch.
 * ``sanitize`` -- run fault scenario(s) with the runtime sanitizer's
   invariant checks enabled; exits 1 on a violation.
 * ``inventory`` -- list the unified scenario registry: scenarios,
@@ -205,7 +211,8 @@ def build_parser():
     )
 
     lint = commands.add_parser(
-        "lint", help="run the determinism linter (DET001..DET005)"
+        "lint",
+        help="run the static analyzers (determinism + snapshot rules)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -213,6 +220,21 @@ def build_parser():
     )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table"
+    )
+    lint.add_argument(
+        "--select", action="append", default=None, metavar="CODE",
+        help="run only rules matching CODE (exact code or prefix, e.g. "
+             "SNAP or DET001; repeatable)",
+    )
+
+    statecheck = commands.add_parser(
+        "statecheck",
+        help="run checkpoint->restore->checkpoint byte-equality probes",
+    )
+    statecheck.add_argument("--seed", type=int, default=42)
+    statecheck.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print one line per probed class",
     )
 
     sanitize = commands.add_parser(
@@ -394,15 +416,38 @@ def cmd_bench(args):
 
 
 def cmd_lint(args):
-    from repro.analysis import all_rules, lint_paths
+    from repro.analysis import all_project_rules, all_rules, lint_paths, select_rules
 
+    rules, project_rules = None, None
+    if args.select:
+        try:
+            rules, project_rules = select_rules(args.select)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.list_rules:
-        for rule in all_rules():
+        selected = (
+            list(rules or ()) + list(project_rules or ())
+            if args.select
+            else list(all_rules()) + list(all_project_rules())
+        )
+        for rule in sorted(selected, key=lambda rule: rule.code):
             print(f"{rule.code}: {rule.summary}")
         return 0
-    report = lint_paths(args.paths)
+    report = lint_paths(args.paths, rules=rules, project_rules=project_rules)
     print(report.render())
     return 0 if report.clean else 1
+
+
+def cmd_statecheck(args):
+    from repro.analysis.statecheck import run_statecheck
+
+    result = run_statecheck(seed=args.seed)
+    for probe in result.probes:
+        if args.verbose or not probe.ok:
+            print(probe.render())
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def cmd_sanitize(args):
@@ -524,6 +569,7 @@ def main(argv=None):
         "runs": cmd_runs,
         "migrate": cmd_migrate,
         "lint": cmd_lint,
+        "statecheck": cmd_statecheck,
         "sanitize": cmd_sanitize,
         "inventory": cmd_inventory,
     }

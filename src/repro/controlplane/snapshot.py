@@ -96,8 +96,12 @@ class SimCheckpointer:
         self.retry_ns = max(1, self.every_ns // 64) if retry_ns is None else int(retry_ns)
         self.sink = sink
         self.latest = None
-        self.captured = 0
-        self.skipped = 0
+        # Capture-process telemetry about *this* run of the checkpointer,
+        # not simulation state: a resumed run tallies its own captures,
+        # and folding these into the snapshot would make its bytes depend
+        # on how often earlier snapshots were taken or retried.
+        self.captured = 0  # lint: disable=SNAP001(capture-process telemetry; a resumed run tallies its own captures)
+        self.skipped = 0  # lint: disable=SNAP001(capture-process telemetry; a resumed run tallies its own retries)
         self._event = sim.schedule(self.every_ns, self._fire)
 
     def _fire(self):

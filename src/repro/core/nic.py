@@ -103,8 +103,12 @@ class NicPipeline:
         # Sanitizer ledger: every packet entering ingress() must settle at
         # most once (transmitted, dropped, or handed to the priority path).
         self._sanitizer = get_sanitizer()
-        self._san_injected = 0
-        self._san_settled = 0
+        # Deliberately not snapshot data: carrying the ledger would make
+        # snapshot bytes depend on whether the sanitizer is installed
+        # (see the note in restore()); a fresh pipeline's ledger starts
+        # balanced and conserves over post-restore traffic on its own.
+        self._san_injected = 0  # lint: disable=SNAP001(sanitizer ledger is instrumentation; snapshot bytes must not depend on sanitizer presence)
+        self._san_settled = 0  # lint: disable=SNAP001(sanitizer ledger is instrumentation; snapshot bytes must not depend on sanitizer presence)
         self._rx_latency_ns = self.latency.rx_ns()
         self._tx_dma_ns = self.latency.module_ns("dma", "tx")
         self._tx_post_reorder_ns = self.latency.module_ns(
@@ -338,7 +342,8 @@ class NicPipeline:
                 if self.session_offload is None
                 else self.session_offload.checkpoint()
             ),
-            "priority_delivered": self.priority.delivered,
+            "pkt_dir": self.pkt_dir.checkpoint(),
+            "priority": self.priority.checkpoint(),
             "fpga_stalled": self._fpga_stalled,
             "heartbeat": self._heartbeat,
         }
@@ -358,7 +363,8 @@ class NicPipeline:
             self.rate_limiter.restore(snapshot["limiter"])
         if self.session_offload is not None and snapshot["offload"] is not None:
             self.session_offload.restore(snapshot["offload"])
-        self.priority.delivered = snapshot["priority_delivered"]
+        self.pkt_dir.restore(snapshot["pkt_dir"])
+        self.priority.restore(snapshot["priority"])
         self._fpga_stalled = snapshot["fpga_stalled"]
         self._heartbeat = snapshot["heartbeat"]
         # The sanitizer's conservation ledger is deliberately NOT part of

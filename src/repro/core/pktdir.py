@@ -77,9 +77,32 @@ class PktDir:
     """
 
     def __init__(self, default_data_path=DeliveryPath.PLB):
-        self.default_data_path = default_data_path
-        self._rules = []
+        # Re-derived from the pipeline's captured mode on restore (see
+        # NicPipeline.restore), not snapshot data in its own right.
+        self.default_data_path = default_data_path  # lint: disable=SNAP001(re-derived from the captured pipeline mode on restore)
+        # Control-plane configuration: pods re-install their rules at
+        # build time, so the table is shape, not state.
+        self._rules = []  # lint: disable=SNAP001(control-plane config re-installed at pod build; not snapshot data)
         self.classified = {path: 0 for path in DeliveryPath}
+
+    def checkpoint(self):
+        """Plain-data snapshot: the per-path classification tallies.
+
+        The rule table and default path are deliberately absent: rules
+        are control-plane configuration re-installed when the pod is
+        built, and the default data path is re-derived from the
+        pipeline's captured mode on restore.
+        """
+        return {
+            "classified": {
+                path.value: self.classified[path] for path in DeliveryPath
+            },
+        }
+
+    def restore(self, snapshot):
+        self.classified = {
+            path: snapshot["classified"][path.value] for path in DeliveryPath
+        }
 
     def add_rule(self, rule):
         """Install a rule; table is re-sorted by priority."""

@@ -30,7 +30,9 @@ class PriorityQueueManager:
         self.service_ns = service_ns
         self.queue = PacketQueue(capacity, name="priority-rx")
         self.delivered = 0
-        self._busy = False
+        # Transient service-loop flag; the priority path is idle (not
+        # busy, queue empty) whenever a quiescent pod is checkpointed.
+        self._busy = False  # lint: disable=SNAP001(transient service flag; priority path is idle at quiescent checkpoints)
 
     @property
     def dropped(self):
@@ -61,3 +63,14 @@ class PriorityQueueManager:
         self.delivered += 1
         self.deliver_fn(packet)
         self._start_next()
+
+    def checkpoint(self):
+        """Plain-data snapshot; requires the priority path to be idle."""
+        return {
+            "delivered": self.delivered,
+            "queue": self.queue.checkpoint(),
+        }
+
+    def restore(self, snapshot):
+        self.delivered = snapshot["delivered"]
+        self.queue.restore(snapshot["queue"])

@@ -25,7 +25,7 @@ class RssDispatcher:
             index % len(self.cores) for index in range(INDIRECTION_ENTRIES)
         ]
         self.dispatched = 0
-        self._hash_cache = {}
+        self._hash_cache = {}  # lint: disable=SNAP001(pure memo of the Toeplitz flow hash; a rebuilt cache re-derives identical entries)
 
     @property
     def indirection_table(self):

@@ -107,11 +107,16 @@ class Simulator:
     def __init__(self):
         self._now = 0
         self._heap = []
-        self._sequence = 0
+        # The heap and its bookkeeping are deliberately outside the
+        # snapshot (see checkpoint()): pending events hold closures, and
+        # every owner re-creates its own events on restore, sorted by
+        # their checkpointed (time, seq) so fresh sequence numbers
+        # preserve the original firing order.
+        self._sequence = 0  # lint: disable=SNAP001(tie-break counter; restore re-arms events in checkpointed time-seq order, so fresh numbers preserve firing order)
         self._events_processed = 0
-        self._live_events = 0
+        self._live_events = 0  # lint: disable=SNAP001(derived count of the live heap; rebuilt as owners re-arm their events on restore)
         self._running = False
-        self._stopped = False
+        self._stopped = False  # lint: disable=SNAP001(run-loop transient; checkpoints are only taken between runs)
         self._sanitizer = get_sanitizer()
         # Resolved once: plain runs never test the sanitizer per event.
         self.step = self._step_checked if self._sanitizer is not None else self._step_fast
@@ -152,7 +157,7 @@ class Simulator:
                 )
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + int(delay)
-        event = Event(time, fn, args, self, self._sequence)
+        event = Event(time, fn, args, self, self._sequence)  # lint: disable=SNAP003(heap entries hold closures and are never serialized; owners re-arm their pending events on restore)
         _heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
         self._live_events += 1
@@ -170,7 +175,7 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, fn, args, self, self._sequence)
+        event = Event(time, fn, args, self, self._sequence)  # lint: disable=SNAP003(heap entries hold closures and are never serialized; owners re-arm their pending events on restore)
         _heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
         self._live_events += 1
@@ -347,7 +352,7 @@ class Simulator:
         ``jitter_fn``, if given, is called per period and must return extra
         nanoseconds (possibly negative, clamped at 0 total delay).
         """
-        return PeriodicTask(self, interval, fn, args, start_delay, jitter_fn)
+        return PeriodicTask(self, interval, fn, args, start_delay, jitter_fn)  # lint: disable=SNAP003(periodic tasks wrap heap events; owners re-arm them from their own checkpoints on restore)
 
 
 class PeriodicTask:

@@ -113,6 +113,10 @@ class CbrSource(_SourceBase):
     of 0 pauses emission until the next ``set_rate``.
     """
 
+    #: Tag written into checkpoints and validated on restore, so a
+    #: snapshot cannot be restored into a source of the wrong type.
+    SNAPSHOT_KIND = "cbr"
+
     def __init__(self, sim, rng, sink, population, rate_pps, **kwargs):
         super().__init__(sim, rng, sink, population, **kwargs)
         self.rate_pps = 0
@@ -159,7 +163,7 @@ class CbrSource(_SourceBase):
         ``RunHandle.restore_checkpoint``).
         """
         return {
-            "kind": "cbr",
+            "kind": self.SNAPSHOT_KIND,
             "rate_pps": self.rate_pps,
             "emitted": self.emitted,
             "running": self._running,
@@ -173,6 +177,11 @@ class CbrSource(_SourceBase):
         rearm)`` entry is executed by the caller after sorting across
         all components, so ties land in their checkpointed order.
         """
+        if snapshot["kind"] != self.SNAPSHOT_KIND:
+            raise ValueError(
+                f"snapshot is for a {snapshot['kind']!r} source, cannot "
+                f"restore into {self.SNAPSHOT_KIND!r}"
+            )
         if self._next_event is not None:
             self._next_event.cancel()
             self._next_event = None

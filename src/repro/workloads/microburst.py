@@ -16,6 +16,8 @@ class MicroburstSource(CbrSource):
     ``burst_duration_ns`` and start on average every ``burst_period_ns``.
     """
 
+    SNAPSHOT_KIND = "microburst"
+
     def __init__(
         self,
         sim,
@@ -81,7 +83,6 @@ class MicroburstSource(CbrSource):
 
     def checkpoint(self):
         snapshot = super().checkpoint()
-        snapshot["kind"] = "microburst"
         burst_event = _event_ref(self._burst_event)
         if burst_event is not None:
             burst_event["fires"] = self._burst_event_kind

@@ -3,8 +3,17 @@
 import os
 import textwrap
 
+import pytest
+
 import repro
-from repro.analysis import all_rules, get_rule, lint_paths, lint_source
+from repro.analysis import (
+    all_project_rules,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
 from repro.cli import main
 
 SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -55,6 +64,59 @@ class TestDet001Entropy:
 
     def test_dotted_import_fires(self):
         assert codes("import time.monotonic\n") == ["DET001"]
+
+    def test_from_os_import_urandom_fires(self):
+        assert codes("from os import urandom\n") == ["DET001"]
+
+    def test_bare_urandom_call_fires(self):
+        source = """\
+        from os import path
+
+        def token(urandom):
+            return urandom(8)
+        """
+        assert codes(source) == ["DET001"]
+
+    def test_datetime_now_fires(self):
+        source = """\
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+        assert codes(source) == ["DET001"]
+
+    def test_datetime_utcnow_fires(self):
+        source = """\
+        from datetime import datetime
+
+        def stamp():
+            return datetime.utcnow()
+        """
+        assert codes(source) == ["DET001"]
+
+    def test_uuid4_call_fires(self):
+        source = """\
+        import uuid
+
+        def ident():
+            return uuid.uuid4()
+        """
+        assert codes(source) == ["DET001"]
+
+    def test_from_uuid_import_uuid1_fires(self):
+        assert codes("from uuid import uuid1\n") == ["DET001"]
+
+    def test_uuid5_is_clean(self):
+        # uuid3/uuid5 are name-based (deterministic); only uuid1/uuid4
+        # draw ambient entropy.
+        source = """\
+        import uuid
+
+        def ident(name):
+            return uuid.uuid5(uuid.NAMESPACE_DNS, name)
+        """
+        assert codes(source) == []
 
 
 class TestDet002UnorderedIteration:
@@ -244,14 +306,61 @@ class TestSuppressions:
 
     def test_multiple_codes_in_one_comment(self):
         source = (
-            "import time  "
-            "# lint: disable=DET001(timing),DET004(not actually a heap)\n"
+            "import time, heapq  "
+            "# lint: disable=DET001(timing),DET004(fixture heap)\n"
         )
         assert codes(source) == []
 
+    def test_multiple_codes_one_stale_is_reported(self):
+        # DET004 never fires on a bare `import time`, so its half of the
+        # comment is stale even though DET001's half is live.
+        source = (
+            "import time  "
+            "# lint: disable=DET001(timing),DET004(not actually a heap)\n"
+        )
+        assert codes(source) == ["LNT002"]
+
     def test_wrong_code_does_not_suppress(self):
         source = "import heapq  # lint: disable=DET001(wrong rule)\n"
-        assert codes(source) == ["DET004"]
+        assert sorted(codes(source)) == ["DET004", "LNT002"]
+
+    def test_unknown_code_reported_as_lnt003(self):
+        source = "x = 1  # lint: disable=ZZZ999(no such rule)\n"
+        assert codes(source) == ["LNT003"]
+
+    def test_stale_file_level_suppression_reported(self):
+        source = """\
+        # lint: disable=DET001(there used to be an import time here)
+        x = 1
+        """
+        assert codes(source) == ["LNT002"]
+
+    def test_stale_not_reported_when_rule_not_active(self):
+        # A DET004 baseline in a file linted with only the entropy rule
+        # selected must not be called stale: the rule that could match
+        # it never ran.
+        rules, project_rules = select_rules(["DET001"])
+        findings = lint_source(
+            "# lint: disable=DET004(exempted heap use)\nx = 1\n",
+            path="repro/example.py",
+            rules=rules, project_rules=project_rules,
+        )
+        assert findings == []
+
+    def test_stale_check_can_be_disabled(self):
+        source = "# lint: disable=DET001(baseline kept on purpose)\nx = 1\n"
+        findings = lint_source(
+            source, path="repro/example.py", check_stale=False
+        )
+        assert findings == []
+
+    def test_file_level_suppression_used_by_any_match_is_not_stale(self):
+        source = """\
+        # lint: disable=DET001(fixture imports entropy twice)
+        import time
+        import random
+        """
+        assert codes(source) == []
 
 
 class TestReporting:
@@ -268,11 +377,34 @@ class TestReporting:
 
     def test_rule_registry_complete(self):
         rules = all_rules()
-        assert [rule.code for rule in rules] == [
-            "DET001", "DET002", "DET003", "DET004", "DET005"
-        ]
+        codes_seen = [rule.code for rule in rules]
+        # The registry, not a hand-maintained list, is the inventory:
+        # assert the families are present and every rule is documented.
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                     "SNAP001", "SNAP002", "SNAP004"):
+            assert code in codes_seen
+        assert len(codes_seen) == len(set(codes_seen))
         assert all(rule.summary for rule in rules)
-        assert get_rule("DET001") is rules[0]
+        assert get_rule("DET001").code == "DET001"
+
+    def test_project_rule_registry(self):
+        project = all_project_rules()
+        assert "SNAP003" in [rule.code for rule in project]
+        assert get_rule("SNAP003").code == "SNAP003"
+
+    def test_select_rules_by_prefix_and_code(self):
+        snap_rules, snap_project = select_rules(["SNAP"])
+        assert {rule.code for rule in snap_rules} == {
+            "SNAP001", "SNAP002", "SNAP004"
+        }
+        assert [rule.code for rule in snap_project] == ["SNAP003"]
+        only_det1, no_project = select_rules(["DET001"])
+        assert [rule.code for rule in only_det1] == ["DET001"]
+        assert no_project == []
+
+    def test_select_rules_unknown_selector_raises(self):
+        with pytest.raises(ValueError):
+            select_rules(["NOPE"])
 
 
 class TestShippedTree:
@@ -294,5 +426,24 @@ class TestShippedTree:
     def test_cli_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("DET001", "DET002", "DET003", "DET004", "DET005"):
+        for code in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                     "SNAP001", "SNAP002", "SNAP003", "SNAP004"):
             assert code in out
+
+    def test_cli_list_rules_respects_select(self, capsys):
+        assert main(["lint", "--list-rules", "--select", "SNAP"]) == 0
+        out = capsys.readouterr().out
+        assert "SNAP001" in out and "SNAP003" in out
+        assert "DET001" not in out
+
+    def test_cli_select_runs_only_matching_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", "--select", "SNAP", str(bad)]) == 0
+        assert main(["lint", "--select", "DET", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_cli_select_unknown_code_exits_2(self, capsys):
+        assert main(["lint", "--select", "NOPE", "src"]) == 2
+        assert "NOPE" in capsys.readouterr().err

@@ -1,0 +1,357 @@
+"""SNAP rule tests: checkpoint drift must be caught before it ships."""
+
+import pathlib
+import textwrap
+
+from repro.analysis import snaprules
+from repro.analysis.reporter import lint_paths, lint_source
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def run_rule(source, rule):
+    return lint_source(
+        textwrap.dedent(source), "repro/x.py", rules=[rule], project_rules=[]
+    )
+
+
+def run_project_rule(source, rule):
+    return lint_source(
+        textwrap.dedent(source), "repro/x.py", rules=[], project_rules=[rule]
+    )
+
+
+class TestSnap001UncapturedMutation:
+    def test_synthetic_drift_is_caught(self):
+        # The acceptance case: add a mutable attribute, forget to
+        # checkpoint it, and SNAP001 fires before any workload diverges.
+        findings = run_rule("""\
+        class Counter:
+            def __init__(self):
+                self.count = 0
+                self.label = "x"
+
+            def bump(self):
+                self.count += 1
+
+            def checkpoint(self):
+                return {"label": self.label}
+
+            def restore(self, snapshot):
+                self.label = snapshot["label"]
+        """, snaprules.SnapUncapturedMutationRule)
+        assert [f.code for f in findings] == ["SNAP001"]
+        assert "Counter.count" in findings[0].message
+        assert findings[0].line == 3  # anchors at the __init__ assignment
+
+    def test_container_mutation_counts_as_drift(self):
+        findings = run_rule("""\
+        class Log:
+            def __init__(self):
+                self.entries = []
+
+            def add(self, item):
+                self.entries.append(item)
+
+            def checkpoint(self):
+                return {}
+        """, snaprules.SnapUncapturedMutationRule)
+        assert [f.code for f in findings] == ["SNAP001"]
+
+    def test_capture_by_checkpoint_read_is_clean(self):
+        findings = run_rule("""\
+        class Counter:
+            def __init__(self):
+                self.count = 0
+
+            def bump(self):
+                self.count += 1
+
+            def checkpoint(self):
+                return {"count": self.count}
+
+            def restore(self, snapshot):
+                self.count = snapshot["count"]
+        """, snaprules.SnapUncapturedMutationRule)
+        assert findings == []
+
+    def test_capture_by_restore_write_is_clean(self):
+        findings = run_rule("""\
+        class Bucket:
+            def __init__(self):
+                self.tokens = 0.0
+
+            def drain(self):
+                self.tokens -= 1
+
+            def checkpoint(self):
+                return {"tokens": 0}
+
+            def restore(self, snapshot):
+                self.tokens = snapshot["tokens"]
+        """, snaprules.SnapUncapturedMutationRule)
+        assert findings == []
+
+    def test_non_snapshot_class_is_out_of_scope(self):
+        findings = run_rule("""\
+        class Scratch:
+            def __init__(self):
+                self.n = 0
+
+            def bump(self):
+                self.n += 1
+        """, snaprules.SnapUncapturedMutationRule)
+        assert findings == []
+
+    def test_dynamic_capture_stands_down(self):
+        findings = run_rule("""\
+        class Stats:
+            def __init__(self):
+                self.a = 0
+
+            def bump(self):
+                self.a += 1
+
+            def checkpoint(self):
+                return {name: getattr(self, name) for name in ("a",)}
+        """, snaprules.SnapUncapturedMutationRule)
+        assert findings == []
+
+    def test_reasoned_suppression_is_honoured_and_not_stale(self):
+        findings = run_rule("""\
+        class Tap:
+            def __init__(self):
+                self.seen = []  # lint: disable=SNAP001(observability log, not replay state)
+
+            def record(self, pkt):
+                self.seen.append(pkt)
+
+            def checkpoint(self):
+                return {}
+        """, snaprules.SnapUncapturedMutationRule)
+        assert findings == []
+
+
+class TestSnap002AsymmetricKeys:
+    def test_key_written_but_never_read(self):
+        findings = run_rule("""\
+        class Box:
+            def checkpoint(self):
+                return {"kept": 1, "orphan": 2}
+
+            def restore(self, snapshot):
+                self.kept = snapshot["kept"]
+        """, snaprules.SnapAsymmetricKeysRule)
+        assert [f.code for f in findings] == ["SNAP002"]
+        assert "'orphan'" in findings[0].message
+
+    def test_key_read_but_never_written(self):
+        findings = run_rule("""\
+        class Box:
+            def checkpoint(self):
+                return {"kept": 1}
+
+            def restore(self, snapshot):
+                self.kept = snapshot["kept"]
+                self.ghost = snapshot["ghost"]
+        """, snaprules.SnapAsymmetricKeysRule)
+        assert [f.code for f in findings] == ["SNAP002"]
+        assert "'ghost'" in findings[0].message
+
+    def test_symmetric_pair_is_clean(self):
+        findings = run_rule("""\
+        class Box:
+            def checkpoint(self):
+                return {"a": 1, "b": 2}
+
+            def restore(self, snapshot):
+                self.a = snapshot["a"]
+                self.b = snapshot.get("b", 0)
+        """, snaprules.SnapAsymmetricKeysRule)
+        assert findings == []
+
+    def test_delegated_checkpoint_stands_down(self):
+        # snapshot = self.to_dict() seeds keys the AST cannot see; the
+        # asymmetry between the visible sets is speculative.
+        findings = run_rule("""\
+        class Histo:
+            def checkpoint(self):
+                snapshot = self.to_dict()
+                snapshot["extra"] = 1
+                return snapshot
+
+            def restore(self, snapshot):
+                self.extra = snapshot["extra"]
+                self.base = snapshot["base"]
+        """, snaprules.SnapAsymmetricKeysRule)
+        assert findings == []
+
+    def test_delegated_restore_stands_down(self):
+        findings = run_rule("""\
+        class Wrap:
+            def checkpoint(self):
+                return {"outer": 1, "inner": 2}
+
+            def restore(self, snapshot):
+                self.outer = snapshot["outer"]
+                self.inner.restore(snapshot)
+        """, snaprules.SnapAsymmetricKeysRule)
+        assert findings == []
+
+
+class TestSnap004UncapturedRng:
+    def test_uncaptured_derived_stream(self):
+        findings = run_rule("""\
+        class Source:
+            def __init__(self, registry):
+                self.stream = derived_stream(registry, "traffic")
+                self.sent = 0
+
+            def checkpoint(self):
+                return {"sent": self.sent}
+
+            def restore(self, snapshot):
+                self.sent = snapshot["sent"]
+        """, snaprules.SnapUncapturedRngRule)
+        assert [f.code for f in findings] == ["SNAP004"]
+        assert findings[0].line == 3  # anchors at the derived_stream call
+
+    def test_captured_stream_is_clean(self):
+        findings = run_rule("""\
+        class Source:
+            def __init__(self, registry):
+                self.stream = derived_stream(registry, "traffic")
+
+            def checkpoint(self):
+                return {"rng": self.stream.state()}
+
+            def restore(self, snapshot):
+                self.stream.set_state(snapshot["rng"])
+        """, snaprules.SnapUncapturedRngRule)
+        assert findings == []
+
+    def test_class_without_checkpoint_is_out_of_scope(self):
+        findings = run_rule("""\
+        class Helper:
+            def __init__(self, registry):
+                self.stream = derived_stream(registry, "jitter")
+        """, snaprules.SnapUncapturedRngRule)
+        assert findings == []
+
+
+class TestSnap003MissingCheckpoint:
+    def test_stateful_subcomponent_without_snapshot(self):
+        findings = run_project_rule("""\
+        class Engine:
+            def __init__(self):
+                self.processed = 0
+
+            def tick(self):
+                self.processed += 1
+
+        class Pod:
+            def __init__(self):
+                self.engine = Engine()
+
+            def checkpoint(self):
+                return {}
+
+            def restore(self, snapshot):
+                pass
+        """, snaprules.SnapMissingCheckpointRule)
+        assert [f.code for f in findings] == ["SNAP002", "SNAP003"] or [
+            f.code for f in findings
+        ] == ["SNAP003"]
+        snap003 = [f for f in findings if f.code == "SNAP003"]
+        assert "Pod builds Engine" in snap003[0].message
+
+    def test_snapshot_aware_subcomponent_is_clean(self):
+        findings = run_project_rule("""\
+        class Engine:
+            def __init__(self):
+                self.processed = 0
+
+            def tick(self):
+                self.processed += 1
+
+            def checkpoint(self):
+                return {"processed": self.processed}
+
+            def restore(self, snapshot):
+                self.processed = snapshot["processed"]
+
+        class Pod:
+            def __init__(self):
+                self.engine = Engine()
+
+            def checkpoint(self):
+                return {"engine": self.engine.checkpoint()}
+
+            def restore(self, snapshot):
+                self.engine.restore(snapshot["engine"])
+        """, snaprules.SnapMissingCheckpointRule)
+        assert findings == []
+
+    def test_stateless_subcomponent_is_clean(self):
+        findings = run_project_rule("""\
+        class Codec:
+            def __init__(self):
+                self.width = 32
+
+            def encode(self, value):
+                return value % self.width
+
+        class Pod:
+            def __init__(self):
+                self.codec = Codec()
+
+            def checkpoint(self):
+                return {}
+
+            def restore(self, snapshot):
+                pass
+        """, snaprules.SnapMissingCheckpointRule)
+        assert findings == []
+
+    def test_rebuild_inside_restore_is_not_a_gap(self):
+        # restore() re-creating components from plain data IS the
+        # protocol working; only steady-state construction counts.
+        findings = run_project_rule("""\
+        class Row:
+            def __init__(self):
+                self.hits = 0
+
+            def touch(self):
+                self.hits += 1
+
+        class Table:
+            def checkpoint(self):
+                return {"rows": []}
+
+            def restore(self, snapshot):
+                self.rows = [Row() for _ in snapshot["rows"]]
+        """, snaprules.SnapMissingCheckpointRule)
+        assert findings == []
+
+    def test_construction_by_non_snapshot_class_is_out_of_scope(self):
+        findings = run_project_rule("""\
+        class Engine:
+            def __init__(self):
+                self.processed = 0
+
+            def tick(self):
+                self.processed += 1
+
+        class Factory:
+            def make(self):
+                return Engine()
+        """, snaprules.SnapMissingCheckpointRule)
+        assert findings == []
+
+
+class TestTreeIsClean:
+    def test_src_tree_has_no_unsuppressed_findings(self):
+        # The enforced invariant: the whole tree lints clean under every
+        # registered rule (DET, SNAP and the LNT suppression audits).
+        report = lint_paths([str(REPO_ROOT / "src")])
+        assert report.clean, report.render()

@@ -1,0 +1,264 @@
+"""State-model extraction tests: what a class mutates vs what it snapshots."""
+
+import ast
+import textwrap
+
+from repro.analysis.statemodel import extract_models
+
+
+def models_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return {model.name: model for model in extract_models(tree, "repro/x.py")}
+
+
+def model_of(source):
+    models = models_of(source)
+    assert len(models) == 1
+    return next(iter(models.values()))
+
+
+class TestAttributeTracking:
+    def test_init_assignments_recorded(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.value = 0
+                self.items = []
+        """)
+        assert set(model.attrs) == {"value", "items"}
+        assert model.attrs["value"].init_line == 3
+        assert not model.stateful
+
+    def test_tuple_unpacking_init_assignment_recorded(self):
+        model = model_of("""\
+        class Pair:
+            def __init__(self):
+                self.a, self.b = make_pair()
+        """)
+        assert set(model.attrs) == {"a", "b"}
+
+    def test_plain_and_augmented_mutations(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.count = 0
+                self.name = "x"
+
+            def bump(self):
+                self.count += 1
+        """)
+        assert model.attrs["count"].mutated
+        assert not model.attrs["name"].mutated
+        assert model.stateful
+
+    def test_container_mutator_calls_count(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.items = []
+                self.index = {}
+
+            def put(self, key, value):
+                self.items.append(value)
+                self.index[key] = value
+        """)
+        assert model.attrs["items"].mutated
+        assert model.attrs["index"].mutated
+
+    def test_nested_attribute_mutation_roots_at_outermost(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.stats = Stats()
+
+            def bump(self):
+                self.stats.processed += 1
+        """)
+        assert model.attrs["stats"].mutated
+
+    def test_read_only_use_is_not_mutation(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.value = 3
+
+            def double(self):
+                return self.value * 2
+        """)
+        assert not model.attrs["value"].mutated
+
+    def test_anchor_line_is_init_assignment(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.count = 0
+
+            def bump(self):
+                self.count += 1
+        """)
+        assert model.attrs["count"].anchor_line() == 3
+
+
+class TestSnapshotSurface:
+    def test_checkpoint_and_restore_keys(self):
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.count = 0
+
+            def checkpoint(self):
+                return {"count": self.count}
+
+            def restore(self, snapshot):
+                self.count = snapshot["count"]
+        """)
+        assert model.snapshot_aware
+        assert set(model.checkpoint.keys) == {"count"}
+        assert set(model.restorer.keys) == {"count"}
+        assert not model.checkpoint.keys_open
+        assert "count" in model.captured_attrs()
+
+    def test_keys_via_named_dict_and_item_stores(self):
+        model = model_of("""\
+        class Box:
+            def checkpoint(self):
+                snapshot = {"a": 1}
+                snapshot["b"] = 2
+                return snapshot
+        """)
+        assert set(model.checkpoint.keys) == {"a", "b"}
+        assert not model.checkpoint.keys_open
+
+    def test_delegated_checkpoint_marks_keys_open(self):
+        model = model_of("""\
+        class Box:
+            def checkpoint(self):
+                snapshot = self.to_dict()
+                snapshot["rng"] = 7
+                return snapshot
+        """)
+        assert set(model.checkpoint.keys) == {"rng"}
+        assert model.checkpoint.keys_open
+
+    def test_dict_spread_marks_keys_open(self):
+        model = model_of("""\
+        class Box:
+            def checkpoint(self):
+                return {**self.base, "extra": 1}
+        """)
+        assert model.checkpoint.keys_open
+
+    def test_restore_delegation_marks_keys_open(self):
+        model = model_of("""\
+        class Box:
+            def restore(self, snapshot):
+                self.inner.restore(snapshot)
+        """)
+        assert model.restorer.keys_open
+
+    def test_restore_get_reads_count_as_keys(self):
+        model = model_of("""\
+        class Box:
+            def restore(self, snapshot):
+                self.level = snapshot.get("level", 0)
+        """)
+        assert set(model.restorer.keys) == {"level"}
+
+    def test_restore_state_param_convention(self):
+        model = model_of("""\
+        class Box:
+            def restore_state(self, snapshot):
+                self.x = snapshot["x"]
+        """)
+        assert model.restorer is not None
+        assert model.restorer.name == "restore_state"
+
+    def test_restore_without_snapshot_param_is_not_snapshot_method(self):
+        # SnatTable-style overload: restore(self, flow, ...) is a
+        # different protocol, and restore(self) is crash recovery.
+        models = models_of("""\
+        class Nat:
+            def restore(self, flow, port):
+                self.map[flow] = port
+
+        class Core:
+            def restore(self):
+                self.failed = False
+        """)
+        assert not models["Nat"].snapshot_aware
+        assert not models["Core"].snapshot_aware
+
+    def test_from_checkpoint_counts_stores_as_captured(self):
+        model = model_of("""\
+        class Bucket:
+            def __init__(self, rate):
+                self.tokens = 0.0
+
+            def refill(self):
+                self.tokens += 1
+
+            @classmethod
+            def from_checkpoint(cls, snapshot):
+                bucket = cls(snapshot["rate"])
+                bucket.tokens = snapshot["tokens"]
+                return bucket
+        """)
+        assert model.restorer is not None
+        assert "tokens" in model.captured_attrs()
+
+    def test_dynamic_capture_flags_model(self):
+        model = model_of("""\
+        class Stats:
+            __slots__ = ("a", "b")
+
+            def checkpoint(self):
+                return {name: getattr(self, name) for name in self.__slots__}
+        """)
+        assert model.dynamic
+
+    def test_attr_assigned_in_restore_counts_as_captured(self):
+        # restore() re-deriving a cache is a legitimate capture.
+        model = model_of("""\
+        class Box:
+            def __init__(self):
+                self.samples = []
+                self._sorted_cache = None
+
+            def add(self, value):
+                self.samples.append(value)
+                self._sorted_cache = None
+
+            def checkpoint(self):
+                return {"samples": self.samples}
+
+            def restore(self, snapshot):
+                self.samples = snapshot["samples"]
+                self._sorted_cache = None
+        """)
+        assert "_sorted_cache" in model.captured_attrs()
+
+
+class TestConstructionSites:
+    def test_construction_sites_recorded(self):
+        model = models_of("""\
+        class Pod:
+            def __init__(self, sim):
+                self.engine = ReorderEngine(sim)
+
+            def checkpoint(self):
+                return {}
+        """)["Pod"]
+        assert ("ReorderEngine", 3) in model.constructed
+
+    def test_snapshot_method_construction_not_recorded(self):
+        # Rebuilding objects from plain data inside restore() is the
+        # protocol working, not a capture gap.
+        model = models_of("""\
+        class Table:
+            def checkpoint(self):
+                return {"rows": []}
+
+            def restore(self, snapshot):
+                self.rows = [Session(row) for row in snapshot["rows"]]
+        """)["Table"]
+        assert all(name != "Session" for name, _line in model.constructed)
