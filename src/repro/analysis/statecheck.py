@@ -230,6 +230,10 @@ def _scenario_spec(name, mode, workload_kind, seed):
         duration_ns=8 * MS,
         seed=seed,
         checkpoint_every_ns=2 * MS,
+        # Windowed telemetry armed so the world probe covers the
+        # TimeSeriesRecorder (series identity across a restore) and the
+        # component walk discovers it for the in-place probe.
+        timeseries_every_ns=2 * MS,
     )
 
 

@@ -96,6 +96,11 @@ def build_parser():
     simulate.add_argument("--flows", type=int, default=1000)
     simulate.add_argument("--tenants", type=int, default=50)
     simulate.add_argument("--seed", type=int, default=42)
+    simulate.add_argument(
+        "--timeseries-every-ms", type=float, default=None, metavar="MS",
+        help="sample windowed telemetry every MS sim-milliseconds and "
+             "print the per-window table",
+    )
 
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", help="experiment name or 'all'")
@@ -175,6 +180,12 @@ def build_parser():
         help="resume an interrupted run: shards whose cached result "
              "matches the current spec hash are served from disk",
     )
+    sweep.add_argument(
+        "--timeseries-every-ms", type=float, default=None, metavar="MS",
+        help="arm windowed telemetry on every shard (window of MS "
+             "sim-milliseconds); the merged artifact gains a "
+             "window-aligned 'timeseries' section",
+    )
 
     runs = commands.add_parser(
         "runs", help="query the durable run store and past artifacts"
@@ -189,12 +200,20 @@ def build_parser():
         "show", help="per-shard status and metrics for one run"
     )
     runs_show.add_argument("run_id", help="run id under the runs dir")
+    runs_show.add_argument(
+        "--timeseries", action="store_true",
+        help="render per-window telemetry rows instead of shard summaries",
+    )
     runs_compare = runs_commands.add_parser(
         "compare", help="cross-run trajectory table over artifacts"
     )
     runs_compare.add_argument(
         "artifacts", nargs="+", metavar="RUN_OR_PATH",
         help="run ids and/or SWEEP_*.json / BENCH_*.json paths",
+    )
+    runs_compare.add_argument(
+        "--timeseries", action="store_true",
+        help="diff windowed-telemetry columns across the operands",
     )
 
     migrate = commands.add_parser(
@@ -270,6 +289,10 @@ def cmd_simulate(args):
         ),
         duration_ns=args.duration_ms * MS,
         seed=args.seed,
+        timeseries_every_ns=(
+            None if args.timeseries_every_ms is None
+            else int(args.timeseries_every_ms * MS)
+        ),
     )
     handle = build(spec).run()
     pod = handle.pod
@@ -295,6 +318,12 @@ def cmd_simulate(args):
         if pod.counters.get(name)
     }
     print(f"drops: {drops or 'none'}")
+    if handle.telemetry is not None:
+        from repro.experiments.common import format_table
+        from repro.telemetry import flatten_windows
+
+        print("timeseries:")
+        print(format_table(flatten_windows(handle.telemetry.series()["windows"])))
     return 0
 
 
@@ -505,11 +534,20 @@ def cmd_inventory(_args):
 def cmd_sweep(args):
     from repro.fleet import (
         ShardFailure, build_sweep, default_workers, run_sweep,
-        sweep_to_json, write_sweep_report,
+        sweep_to_json, with_timeseries, write_sweep_report,
     )
     from repro.runs import RunStore, RunStoreError
+    from repro.sim.units import MS
 
     shards = build_sweep(args.name, quick=args.quick, seed=args.seed)
+    if args.timeseries_every_ms is not None:
+        try:
+            shards = with_timeseries(shards, int(args.timeseries_every_ms * MS))
+        except ValueError as error:
+            # e.g. a migration sweep: telemetry and migration are
+            # mutually exclusive at the spec level.
+            print(str(error), file=sys.stderr)
+            return 2
     workers = args.workers if args.workers > 0 else default_workers()
     store = RunStore(args.runs_dir)
     try:

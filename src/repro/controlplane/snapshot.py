@@ -73,7 +73,8 @@ class SimCheckpointer:
     The pending-event story: a snapshot is legal only because, at a
     quiescent instant, everything in the event heap belongs to a
     component that can re-create its own events from its checkpoint --
-    the sources (next tick, next burst boundary) and the checkpointer
+    the sources (next tick, next burst boundary), the telemetry recorder
+    (its next window flush) and the checkpointer
     itself (its next fire).  Each records the absolute time *and* heap
     sequence of its pending event; ``RunHandle.restore_checkpoint``
     re-creates them sorted by ``(time, seq)``, so same-timestamp ties
@@ -85,13 +86,17 @@ class SimCheckpointer:
     """
 
     def __init__(self, sim, rngs, pods, sources, every_ns, sink=None,
-                 retry_ns=None):
+                 retry_ns=None, recorder=None):
         if every_ns <= 0:
             raise ValueError(f"checkpoint cadence must be positive (got {every_ns})")
         self.sim = sim
         self.rngs = rngs
         self.pods = pods            # {name: GwPodRuntime}
         self.sources = list(sources)
+        # Optional TimeSeriesRecorder; when present its state rides in
+        # the snapshot's "telemetry" section (absent otherwise, so
+        # telemetry-less checkpoints keep their exact historical bytes).
+        self.recorder = recorder
         self.every_ns = int(every_ns)
         self.retry_ns = max(1, self.every_ns // 64) if retry_ns is None else int(retry_ns)
         self.sink = sink
@@ -123,6 +128,8 @@ class SimCheckpointer:
             },
             "sources": [source.checkpoint() for source in self.sources],
         }
+        if self.recorder is not None:
+            snapshot["telemetry"] = self.recorder.checkpoint()
         ensure_plain(snapshot, "sim-checkpoint")
         self.latest = snapshot
         self.captured += 1

@@ -105,6 +105,11 @@ class GwPodRuntime:
         self.config = config
         self.rng = rng
         self.latency_histogram = LatencyHistogram()
+        # Optional per-latency callback (the telemetry recorder binds a
+        # per-window histogram's record here); sees exactly the stream
+        # that feeds latency_histogram.  Not checkpointed: the recorder
+        # that owns the tap checkpoints its own histograms.
+        self.latency_tap = None
         self.outcomes = {}
         self.crashed = False
         self._started_ns = sim.now
@@ -205,6 +210,9 @@ class GwPodRuntime:
         latency = packet.latency_ns
         if latency is not None and packet.drop_reason is None:
             self.latency_histogram.record(latency)
+            tap = self.latency_tap
+            if tap is not None:
+                tap(latency)
         try:
             key = outcome.value
         except AttributeError:

@@ -40,6 +40,7 @@ from repro.fleet.sweeps import (
     build_sweep,
     sweep_descriptions,
     sweep_names,
+    with_timeseries,
 )
 
 __all__ = [
@@ -61,5 +62,6 @@ __all__ = [
     "sweep_descriptions",
     "sweep_names",
     "sweep_to_json",
+    "with_timeseries",
     "write_sweep_report",
 ]

@@ -53,7 +53,7 @@ def merge_run_reports(run_reports, seed=42):
             for name, value in pod["outcomes"].items():
                 outcomes.incr(name, value)
             histogram.merge(LatencyHistogram.from_dict(pod["latency"]))
-    return {
+    merged = {
         "shards": len(run_reports),
         "packets": packets,
         "events": events,
@@ -61,6 +61,44 @@ def merge_run_reports(run_reports, seed=42):
         "latency": summarize_histogram(histogram),
         "counters": dict(sorted(counters.snapshot().items())),
         "outcomes": dict(sorted(outcomes.snapshot().items())),
+    }
+    timeseries = _merge_timeseries(run_reports)
+    # Only when some shard recorded windows: telemetry-less sweeps keep
+    # their exact historical artifact bytes.
+    if timeseries is not None:
+        merged["timeseries"] = timeseries
+    return merged
+
+
+def _merge_timeseries(run_reports):
+    """Window-aligned concatenation of per-shard series, in shard order.
+
+    Percentiles cannot be re-derived from per-window summaries, so the
+    fleet view does not try to fold windows across shards -- it tags
+    every window row with its shard index and concatenates.  Shard order
+    is submission order, so the merged series is byte-identical for any
+    worker count (the same argument as the scalar merge above).
+    """
+    from repro.telemetry import TIMESERIES_SCHEMA_VERSION
+
+    windows = []
+    every_ns = None
+    for index, report in enumerate(run_reports):
+        section = report.get("timeseries")
+        if section is None:
+            continue
+        if every_ns is None:
+            every_ns = section["every_ns"]
+        for row in section["windows"]:
+            entry = {"shard": index}
+            entry.update(row)
+            windows.append(entry)
+    if every_ns is None:
+        return None
+    return {
+        "schema_version": TIMESERIES_SCHEMA_VERSION,
+        "every_ns": every_ns,
+        "windows": windows,
     }
 
 

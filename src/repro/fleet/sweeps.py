@@ -81,6 +81,26 @@ def build_sweep(name, quick=False, seed=42):
     )
 
 
+def with_timeseries(shards, every_ns):
+    """Arm windowed telemetry on every shard of a built sweep.
+
+    Returns new :class:`ShardSpec` objects whose specs carry
+    ``timeseries_every_ns`` (via the serialized-override path, so axes
+    and seeds are untouched); the merged artifact then grows the
+    window-aligned ``merged["timeseries"]`` concatenation.
+    """
+    return [
+        ShardSpec(
+            shard.index,
+            dict(shard.axes),
+            shard.spec.with_overrides(
+                overrides={"timeseries_every_ns": int(every_ns)}
+            ),
+        )
+        for shard in shards
+    ]
+
+
 def sweep_descriptions():
     """{name: first docstring line} for ``inventory``."""
     return {

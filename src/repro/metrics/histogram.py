@@ -108,6 +108,23 @@ class LatencyHistogram:
             if index < self.max_samples:
                 samples[index] = latency_ns
 
+    def reset(self):
+        """Drop all recorded data, keeping the bucket configuration.
+
+        The reservoir rng keeps its position (a reset is not a rebuild:
+        windowed consumers like the telemetry recorder reset the same
+        histogram every window, and reusing the stream keeps the sequence
+        of draws a pure function of the recorded data).
+        """
+        self._bucket_counts = [0, 0]
+        self._samples = []
+        self._count = 0
+        self._sum = 0
+        self._min = None
+        self._max = None
+        self._sorted_cache = []
+        self._sorted_cache_count = 0
+
     def _extend_bounds(self):
         """Append the next integer bucket boundary (exact ceil(factor**k))."""
         power = self._bound_fraction ** len(self._bounds)
@@ -282,6 +299,7 @@ class LatencyHistogram:
             )
         if other._count == 0:
             return self
+        count_before = self._count
         self._count += other._count
         self._sum += other._sum
         if self._min is None or (other._min is not None and other._min < self._min):
@@ -294,12 +312,21 @@ class LatencyHistogram:
         for bucket, count in enumerate(other._bucket_counts):
             if count:
                 counts[bucket] += count
+        # Reservoir fold under Vitter's algorithm R: the acceptance
+        # probability for the i-th folded sample is max_samples over the
+        # *running* stream position, not the final post-merge count --
+        # drawing against the final count under-accepts early samples and
+        # biases the merged reservoir toward the receiver's.  When
+        # ``other`` was itself thinned the retained samples stand in for
+        # its full stream (the documented approximation).
         samples = self._samples
+        stream = count_before
         for sample in other._samples:
+            stream += 1
             if len(samples) < self.max_samples:
                 samples.append(sample)
             else:
-                index = self._rng.randrange(self._count)
+                index = self._rng.randrange(stream)
                 if index < self.max_samples:
                     samples[index] = sample
         return self

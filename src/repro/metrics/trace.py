@@ -60,7 +60,34 @@ class PacketTracer:
         self.max_traces = max_traces
         self.traces = {}
         self._seen = 0
+        self._active = True
+        self._patched = []
         self._install()
+
+    def _patch(self, obj, name, replacement):
+        """Shadow ``obj.name`` with an instance attribute, remembering how
+        to undo it (the original may be a class method or a prior
+        instance attribute -- ``uninstall`` restores either exactly)."""
+        self._patched.append((obj, name, name in obj.__dict__, obj.__dict__.get(name)))
+        setattr(obj, name, replacement)
+
+    def uninstall(self):
+        """Remove every pipeline hook, restoring the original callables.
+
+        Leaves collected traces intact.  Idempotent; after this the pod
+        carries no tracer wrappers, so it checkpoints and probes exactly
+        like an untraced pod.  Callers that captured a wrapper directly
+        (a traffic source built against ``pod.ingress`` while the tracer
+        was installed) keep a working pass-through: deactivated wrappers
+        forward without recording.
+        """
+        self._active = False
+        while self._patched:
+            obj, name, had_attr, original = self._patched.pop()
+            if had_attr:
+                setattr(obj, name, original)
+            else:
+                delattr(obj, name)
 
     def _install(self):
         pod = self.pod
@@ -69,19 +96,23 @@ class PacketTracer:
         original_ingress = pod.nic.ingress
 
         def traced_ingress(packet):
-            self._seen += 1
-            if (
-                len(self.traces) < self.max_traces
-                and self._seen % self.sample_every == 0
-            ):
-                trace = PacketTrace(packet.uid)
-                trace.mark("ingress", sim.now)
-                self.traces[packet.uid] = trace
+            if self._active:
+                self._seen += 1
+                # (seen - 1) % N: the first packet of every stride is
+                # traced, so a run shorter than N packets still collects
+                # traces.
+                if (
+                    len(self.traces) < self.max_traces
+                    and (self._seen - 1) % self.sample_every == 0
+                ):
+                    trace = PacketTrace(packet.uid)
+                    trace.mark("ingress", sim.now)
+                    self.traces[packet.uid] = trace
             original_ingress(packet)
 
-        pod.nic.ingress = traced_ingress
+        self._patch(pod.nic, "ingress", traced_ingress)
         # GwPodRuntime.ingress bound the original method; repoint it.
-        pod.ingress = traced_ingress
+        self._patch(pod, "ingress", traced_ingress)
 
         for core in pod.cores:
             self._wrap_core(core, sim)
@@ -94,7 +125,7 @@ class PacketTracer:
                 trace.mark("egress", sim.now)
             original_egress(packet, outcome)
 
-        pod.nic.egress_fn = traced_egress
+        self._patch(pod.nic, "egress_fn", traced_egress)
 
     def _wrap_core(self, core, sim):
         original_start = core._start_next
@@ -108,7 +139,7 @@ class PacketTracer:
                     trace.mark("cpu_start", sim.now)
             original_start()
 
-        core._start_next = traced_start
+        self._patch(core, "_start_next", traced_start)
 
         original_finish = core._finish
 
@@ -118,7 +149,7 @@ class PacketTracer:
                 trace.mark("cpu_done", sim.now)
             original_finish(packet)
 
-        core._finish = traced_finish
+        self._patch(core, "_finish", traced_finish)
 
     # -- analysis -----------------------------------------------------------
 

@@ -61,6 +61,55 @@ def show_rows(store, run_id):
     return run, rows
 
 
+def show_timeseries_rows(store, run_id):
+    """Windowed rows for one run's completed shards.
+
+    Each completed shard's report contributes its ``"timeseries"``
+    windows (tagged with the shard index), flattened to one row per
+    (shard, window, pod) -- the same shape ``compare --timeseries``
+    renders for merged artifacts.  Runs without windowed telemetry
+    yield no rows.
+    """
+    from repro.telemetry import flatten_windows
+
+    run = store.open(run_id)
+    rows = []
+    for entry in run.manifest.get("shards", ()):
+        result = run.load_shard(entry["index"], entry["spec_hash"])
+        if result is None:
+            continue
+        section = result["report"].get("timeseries")
+        if section is None:
+            continue
+        tagged = [
+            dict(window, shard=entry["index"])
+            for window in section["windows"]
+        ]
+        rows.extend(flatten_windows(tagged))
+    return run, rows
+
+
+def compare_timeseries_rows(operands, store):
+    """Windowed trajectory rows across sweep artifacts, operand order.
+
+    Bench artifacts have no windows and contribute nothing; sweep
+    artifacts contribute their merged window-aligned concatenation,
+    labeled per operand so trajectories line up across runs.
+    """
+    from repro.telemetry import flatten_windows
+
+    rows = []
+    for operand in operands:
+        label, kind, payload = resolve_operand(operand, store)
+        if kind != "sweep":
+            continue
+        section = payload.get("merged", {}).get("timeseries")
+        if section is None:
+            continue
+        rows.extend(flatten_windows(section["windows"], source=label))
+    return rows
+
+
 def classify_artifact(payload):
     """``"sweep"``, ``"bench"`` or ``None`` for a loaded JSON artifact."""
     if not isinstance(payload, dict):
@@ -164,6 +213,18 @@ def cmd_runs(args, out=print, err=None):
             out(format_table(rows))
             return 0
         if args.runs_command == "show":
+            if getattr(args, "timeseries", False):
+                run, rows = show_timeseries_rows(store, args.run_id)
+                if not rows:
+                    out(
+                        f"run {run.run_id} has no windowed telemetry "
+                        "(arm spec.timeseries_every_ns, e.g. sweep "
+                        "--timeseries-every-ms)"
+                    )
+                    return 0
+                out(f"run {run.run_id}: windowed telemetry")
+                out(format_table(rows))
+                return 0
             run, rows = show_rows(store, args.run_id)
             manifest = run.manifest
             out(
@@ -171,6 +232,13 @@ def cmd_runs(args, out=print, err=None):
                 f"seed {manifest.get('seed')}, "
                 f"{len(manifest.get('shards', ()))} shard(s)"
             )
+            out(format_table(rows))
+            return 0
+        if getattr(args, "timeseries", False):
+            rows = compare_timeseries_rows(args.artifacts, store)
+            if not rows:
+                out("no windowed telemetry in the given artifacts")
+                return 0
             out(format_table(rows))
             return 0
         rows = compare_rows(args.artifacts, store)

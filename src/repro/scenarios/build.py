@@ -92,6 +92,8 @@ class RunHandle:
         # The SimCheckpointer when spec.checkpoint_every_ns is set
         # (attached by build() after sources exist).
         self.checkpointer = None
+        # The TimeSeriesRecorder when spec.timeseries_every_ns is set.
+        self.telemetry = None
 
     @property
     def pod(self):
@@ -150,6 +152,14 @@ class RunHandle:
         for name, pod in self.pods.items():
             pod.restore_state(snapshot["pods"][name])
         rearms = list(self.checkpointer.restore(snapshot))
+        if self.telemetry is not None:
+            telemetry_snapshot = snapshot.get("telemetry")
+            if telemetry_snapshot is None:
+                raise ValueError(
+                    f"scenario {self.spec.name!r} has windowed telemetry "
+                    "armed but the checkpoint carries no telemetry section"
+                )
+            rearms.extend(self.telemetry.restore(telemetry_snapshot))
         for source, source_snapshot in zip(self.sources, snapshot["sources"]):
             rearms.extend(source.restore(source_snapshot))
         rearms.sort(key=lambda entry: (entry[0], entry[1]))
@@ -183,6 +193,10 @@ class RunHandle:
             "events": self.sim.events_processed,
             "pods": pods,
         }
+        # Only when armed: reports of telemetry-less scenarios must stay
+        # byte-identical to pre-telemetry output.
+        if self.telemetry is not None:
+            report["timeseries"] = self.telemetry.series()
         if self.migration is not None:
             report["migration"] = self.migration.plan.to_dict()
         return report
@@ -237,11 +251,18 @@ def build(spec, sim=None, rngs=None, pod_extras=None):
         sources.append(_attach_workload(spec, sim, rngs, pods, migration))
 
     handle = RunHandle(spec, sim, rngs, server, pods, sources, migration=migration)
+    if spec.timeseries_every_ns is not None:
+        from repro.telemetry import TimeSeriesRecorder
+
+        handle.telemetry = TimeSeriesRecorder(
+            sim, pods, spec.timeseries_every_ns, seed=spec.seed
+        )
     if spec.checkpoint_every_ns is not None:
         from repro.controlplane.snapshot import SimCheckpointer
 
         handle.checkpointer = SimCheckpointer(
-            sim, rngs, pods, sources, spec.checkpoint_every_ns
+            sim, rngs, pods, sources, spec.checkpoint_every_ns,
+            recorder=handle.telemetry,
         )
     return handle
 

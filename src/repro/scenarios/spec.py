@@ -243,10 +243,17 @@ class ScenarioSpec:
             that many sim-ns (at quiescent instants), giving long shards
             a restart point.  Mutually exclusive with ``migration`` --
             a mid-migration deployment is not quiescent-restorable.
+        timeseries_every_ns: optional windowed-telemetry cadence; build
+            time attaches a :class:`~repro.telemetry.TimeSeriesRecorder`
+            that samples every pod at that window and the run report
+            grows a ``"timeseries"`` section.  Mutually exclusive with
+            ``migration``: the migrated pod is rebuilt mid-run, which
+            would silently detach its latency tap.
     """
 
     def __init__(self, name, pods=(), workload=None, duration_ns=0, seed=42,
-                 migration=None, checkpoint_every_ns=None):
+                 migration=None, checkpoint_every_ns=None,
+                 timeseries_every_ns=None):
         _require(bool(name), "a scenario needs a name")
         pods = tuple(pods)
         seen = set()
@@ -267,6 +274,15 @@ class ScenarioSpec:
                 migration is None,
                 "checkpoint_every_ns cannot be combined with a migration",
             )
+        if timeseries_every_ns is not None:
+            _require(
+                timeseries_every_ns > 0,
+                "timeseries_every_ns must be > 0 when set",
+            )
+            _require(
+                migration is None,
+                "timeseries_every_ns cannot be combined with a migration",
+            )
         self.name = name
         self.pods = pods
         self.workload = workload
@@ -274,6 +290,7 @@ class ScenarioSpec:
         self.seed = seed
         self.migration = migration
         self.checkpoint_every_ns = checkpoint_every_ns
+        self.timeseries_every_ns = timeseries_every_ns
 
     def to_dict(self):
         return {
@@ -286,6 +303,7 @@ class ScenarioSpec:
                 None if self.migration is None else self.migration.to_dict()
             ),
             "checkpoint_every_ns": self.checkpoint_every_ns,
+            "timeseries_every_ns": self.timeseries_every_ns,
         }
 
     @classmethod
@@ -303,8 +321,9 @@ class ScenarioSpec:
                 None if data.get("migration") is None
                 else MigrationSpec.from_dict(data["migration"])
             ),
-            # .get: specs serialized before checkpointing existed load fine.
+            # .get: specs serialized before these fields existed load fine.
             checkpoint_every_ns=data.get("checkpoint_every_ns"),
+            timeseries_every_ns=data.get("timeseries_every_ns"),
         )
 
     def with_overrides(self, seed=None, duration_ns=None, overrides=None):

@@ -350,7 +350,8 @@ class Simulator:
 
         Returns a :class:`PeriodicTask` whose ``cancel()`` stops the cycle.
         ``jitter_fn``, if given, is called per period and must return extra
-        nanoseconds (possibly negative, clamped at 0 total delay).
+        nanoseconds (possibly negative; the total delay is clamped to a
+        minimum of 1 ns so the clock always advances between firings).
         """
         return PeriodicTask(self, interval, fn, args, start_delay, jitter_fn)  # lint: disable=SNAP003(periodic tasks wrap heap events; owners re-arm them from their own checkpoints on restore)
 
@@ -380,7 +381,10 @@ class PeriodicTask:
             return
         delay = self.interval
         if self._jitter_fn is not None:
-            delay = max(0, delay + int(self._jitter_fn()))
+            # Clamp to >= 1 ns: a zero total delay re-fires at the same
+            # timestamp, so a jitter function returning <= -interval
+            # would livelock the run (time never advances past the task).
+            delay = max(1, delay + int(self._jitter_fn()))
             if self._cancelled:  # jitter_fn may also have cancelled us
                 return
         self._event = self._sim.schedule(delay, self._fire)

@@ -1,0 +1,19 @@
+"""Windowed time-series telemetry for run reports.
+
+See :mod:`repro.telemetry.recorder` for the window semantics and the
+checkpoint/restore contract.
+"""
+
+from repro.telemetry.recorder import (
+    TIMESERIES_SCHEMA_VERSION,
+    TimeSeriesRecorder,
+    flatten_windows,
+    validate_series,
+)
+
+__all__ = [
+    "TIMESERIES_SCHEMA_VERSION",
+    "TimeSeriesRecorder",
+    "flatten_windows",
+    "validate_series",
+]

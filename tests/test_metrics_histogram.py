@@ -96,6 +96,44 @@ class TestMerge:
         assert sum(merged.bucket_counts().values()) == 1001
         assert len(merged._samples) <= merged.max_samples
 
+    def test_merge_reservoir_is_unbiased(self):
+        # Regression for the reservoir-merge bias: folded samples used to
+        # draw randrange against the *final post-merge* count, so every
+        # folded sample was accepted with the same (too low) probability
+        # instead of algorithm R's max_samples/stream at its own stream
+        # position.  Merging 100 "ones" into a full reservoir of 100
+        # "zeros" must leave each of the 200 stream elements equally
+        # likely retained -- about half zeros.  Under the bug the
+        # acceptance probability was a flat 0.5 and the expected zero
+        # fraction was e**-0.5 ~ 0.61, well outside the band below.
+        zero_fraction = 0.0
+        trials = 200
+        for seed in range(trials):
+            merged = LatencyHistogram(max_samples=100, seed=seed)
+            for _ in range(100):
+                merged.record(0)
+            source = LatencyHistogram(max_samples=100, seed=seed + trials)
+            for _ in range(100):
+                source.record(1)
+            merged.merge(source)
+            zero_fraction += merged.fraction_below(1)
+        zero_fraction /= trials
+        assert 0.46 < zero_fraction < 0.54
+
+    def test_merge_reservoir_stream_resumes_after_merge(self):
+        # The running stream count must leave later record() calls with
+        # the correct acceptance probability too: aggregates stay exact.
+        merged = LatencyHistogram(max_samples=10, seed=3)
+        for value in range(10):
+            merged.record(value)
+        source = LatencyHistogram(max_samples=10, seed=4)
+        for value in range(25):
+            source.record(value)
+        merged.merge(source)
+        merged.record(99)
+        assert merged.count == 36
+        assert len(merged._samples) == 10
+
     def test_merge_into_empty(self):
         merged = LatencyHistogram()
         source = LatencyHistogram()

@@ -217,10 +217,10 @@ class TestPeriodicTask:
         assert times == [10, 20]
         assert sim.pending == 0
 
-    def test_negative_jitter_clamps_at_zero_delay(self):
-        # Jitter larger than the interval clamps the next delay to 0:
-        # the task re-fires at the same timestamp, it never goes back in
-        # time (which the scheduler would reject).
+    def test_negative_jitter_clamps_at_one_ns_delay(self):
+        # Jitter larger than the interval clamps the next delay to 1 ns:
+        # the clock always advances between firings (a 0-delay clamp let
+        # the task re-fire at the same timestamp forever -- a livelock).
         sim = Simulator()
         times = []
 
@@ -231,7 +231,18 @@ class TestPeriodicTask:
 
         task = sim.every(10, tick, jitter_fn=lambda: -50)
         sim.run_until(100)
-        assert times == [10, 10, 10]
+        assert times == [10, 11, 12]
+
+    def test_pathological_jitter_cannot_livelock_the_run(self):
+        # Regression: with the clamp at 0, a jitter_fn returning
+        # <= -interval re-fired at the same instant and run_until never
+        # returned.  The 1 ns floor bounds the firings per window.
+        sim = Simulator()
+        fired = []
+        sim.every(10, lambda: fired.append(sim.now), jitter_fn=lambda: -1_000)
+        sim.run_until(50)
+        assert sim.now == 50
+        assert fired == [10 + i for i in range(41)]
 
     def test_small_negative_jitter_shortens_period(self):
         sim = Simulator()

@@ -59,6 +59,62 @@ class TestPacketTracer:
             pod.counters.get("rx_packets") / 10, abs=2
         )
 
+    def test_sampling_traces_first_packet_of_each_stride(self):
+        # Regression: `seen % N == 0` skipped the first N-1 packets, so a
+        # short run with a sparse sampler traced nothing.  The first
+        # packet of every stride must be traced.
+        sim, rngs, pod = make_pod()
+        tracer = PacketTracer(pod, sample_every=100)
+        population = uniform_population(10)
+        CbrSource(sim, rngs.stream("t"), pod.ingress, population, rate_pps=50_000)
+        # Long enough for a handful of packets, far fewer than 100.
+        sim.run_until(200 * US)
+        assert pod.counters.get("rx_packets") < 100
+        assert len(tracer.traces) == 1
+
+    def test_uninstall_restores_pipeline_hooks(self):
+        sim, rngs, pod = make_pod()
+        original_nic_ingress = pod.nic.ingress
+        original_egress = pod.nic.egress_fn
+        original_starts = [core._start_next for core in pod.cores]
+        tracer = PacketTracer(pod)
+        assert pod.nic.ingress is not original_nic_ingress
+        tracer.uninstall()
+        assert pod.nic.ingress == original_nic_ingress
+        assert pod.nic.egress_fn == original_egress
+        for core, original in zip(pod.cores, original_starts):
+            assert core._start_next == original
+        # "ingress"/"_start_next" were class methods shadowed by instance
+        # attributes; uninstall must remove the shadow, not pin a bound
+        # method into the instance dict.
+        assert "ingress" not in pod.__dict__
+        for core in pod.cores:
+            assert "_start_next" not in core.__dict__
+            assert "_finish" not in core.__dict__
+        # Idempotent, and traces survive the uninstall.
+        tracer.uninstall()
+        population = uniform_population(10)
+        CbrSource(sim, rngs.stream("t"), pod.ingress, population, rate_pps=50_000)
+        sim.run_until(2 * MS)
+        assert pod.transmitted() > 0
+        assert len(tracer.traces) == 0  # hooks gone: nothing new recorded
+
+    def test_uninstall_mid_flight_keeps_pipeline_running(self):
+        # Uninstalling while packets are in flight must not strand them:
+        # the restored hooks carry the rest of the run.
+        sim, rngs, pod = make_pod()
+        tracer = PacketTracer(pod)
+        population = uniform_population(10)
+        CbrSource(sim, rngs.stream("t"), pod.ingress, population, rate_pps=200_000)
+        sim.run_until(2 * MS)
+        tracer.uninstall()
+        collected = len(tracer.traces)
+        assert collected > 0
+        before = pod.transmitted()
+        sim.run_until(4 * MS)
+        assert pod.transmitted() > before
+        assert len(tracer.traces) == collected
+
     def test_max_traces_cap(self):
         sim, rngs, pod = make_pod()
         tracer = PacketTracer(pod, max_traces=50)
