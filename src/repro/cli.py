@@ -60,6 +60,7 @@ SWEEPS = (
     "tenant-scaling",
     "seed-replication",
     "migration-replication",
+    "az-scaling",
 )
 
 # Kept in sync with repro.controlplane.scenarios.MIGRATION_SCENARIOS
@@ -77,7 +78,28 @@ def build_parser():
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    simulate = commands.add_parser("simulate", help="run one GW pod")
+    # Shared flags live in parent parsers so every subcommand declares
+    # them once with one default and one help string (they drifted when
+    # each subcommand re-declared its own copies).
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument(
+        "--seed", type=int, default=42, help="deterministic run seed"
+    )
+    quick_parent = argparse.ArgumentParser(add_help=False)
+    quick_parent.add_argument(
+        "--quick", action="store_true",
+        help="quick mode: scaled-down durations/axes",
+    )
+    timeseries_parent = argparse.ArgumentParser(add_help=False)
+    timeseries_parent.add_argument(
+        "--timeseries-every-ms", type=float, default=None, metavar="MS",
+        help="arm windowed telemetry with a window of MS sim-milliseconds",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="run one GW pod",
+        parents=[seed_parent, timeseries_parent],
+    )
     simulate.add_argument("--cores", type=int, default=8, help="data cores")
     simulate.add_argument(
         "--mode", choices=("plb", "rss"), default="plb", help="load-balancing mode"
@@ -95,35 +117,25 @@ def build_parser():
     )
     simulate.add_argument("--flows", type=int, default=1000)
     simulate.add_argument("--tenants", type=int, default=50)
-    simulate.add_argument("--seed", type=int, default=42)
-    simulate.add_argument(
-        "--timeseries-every-ms", type=float, default=None, metavar="MS",
-        help="sample windowed telemetry every MS sim-milliseconds and "
-             "print the per-window table",
-    )
 
-    experiment = commands.add_parser("experiment", help="run a paper experiment")
+    experiment = commands.add_parser(
+        "experiment", help="run a paper experiment", parents=[quick_parent]
+    )
     experiment.add_argument("name", help="experiment name or 'all'")
-    experiment.add_argument("--quick", action="store_true", help="shorter runs")
 
     faults = commands.add_parser(
-        "faults", help="run a fault-injection scenario"
+        "faults", help="run a fault-injection scenario",
+        parents=[seed_parent, quick_parent],
     )
     faults.add_argument(
         "scenario",
         choices=FAULT_SCENARIOS + ("all",),
         help="named scenario (or 'all')",
     )
-    faults.add_argument("--seed", type=int, default=42)
-    faults.add_argument(
-        "--quick", action="store_true", help="scaled-down timings"
-    )
 
     bench = commands.add_parser(
-        "bench", help="benchmark the simulator hot path"
-    )
-    bench.add_argument(
-        "--quick", action="store_true", help="shorter scenario durations"
+        "bench", help="benchmark the simulator hot path",
+        parents=[quick_parent],
     )
     bench.add_argument(
         "--output", default="BENCH_repro.json",
@@ -151,7 +163,8 @@ def build_parser():
     )
 
     sweep = commands.add_parser(
-        "sweep", help="run a sharded parameter sweep across workers"
+        "sweep", help="run a sharded parameter sweep across workers",
+        parents=[seed_parent, quick_parent, timeseries_parent],
     )
     sweep.add_argument("name", choices=SWEEPS, help="named sweep")
     sweep.add_argument(
@@ -159,10 +172,6 @@ def build_parser():
         help="worker processes (0 = auto); the report is byte-identical "
              "for any count",
     )
-    sweep.add_argument(
-        "--quick", action="store_true", help="smaller axis / fewer shards"
-    )
-    sweep.add_argument("--seed", type=int, default=42)
     sweep.add_argument(
         "--output", default="SWEEP_repro.json",
         help="merged report path (default: SWEEP_repro.json)",
@@ -179,12 +188,6 @@ def build_parser():
         "--resume", default=None, metavar="RUN_ID",
         help="resume an interrupted run: shards whose cached result "
              "matches the current spec hash are served from disk",
-    )
-    sweep.add_argument(
-        "--timeseries-every-ms", type=float, default=None, metavar="MS",
-        help="arm windowed telemetry on every shard (window of MS "
-             "sim-milliseconds); the merged artifact gains a "
-             "window-aligned 'timeseries' section",
     )
 
     runs = commands.add_parser(
@@ -217,16 +220,13 @@ def build_parser():
     )
 
     migrate = commands.add_parser(
-        "migrate", help="run a live pod-migration scenario"
+        "migrate", help="run a live pod-migration scenario",
+        parents=[seed_parent, quick_parent],
     )
     migrate.add_argument(
         "scenario",
         choices=MIGRATIONS + ("all",),
         help="named migration scenario (or 'all')",
-    )
-    migrate.add_argument("--seed", type=int, default=42)
-    migrate.add_argument(
-        "--quick", action="store_true", help="scaled-down timings"
     )
 
     lint = commands.add_parser(
@@ -249,24 +249,21 @@ def build_parser():
     statecheck = commands.add_parser(
         "statecheck",
         help="run checkpoint->restore->checkpoint byte-equality probes",
+        parents=[seed_parent],
     )
-    statecheck.add_argument("--seed", type=int, default=42)
     statecheck.add_argument(
         "-v", "--verbose", action="store_true",
         help="print one line per probed class",
     )
 
     sanitize = commands.add_parser(
-        "sanitize", help="run fault scenario(s) with runtime invariant checks"
+        "sanitize", help="run fault scenario(s) with runtime invariant checks",
+        parents=[seed_parent, quick_parent],
     )
     sanitize.add_argument(
         "scenario",
         choices=FAULT_SCENARIOS + ("all",),
         help="named scenario (or 'all')",
-    )
-    sanitize.add_argument("--seed", type=int, default=42)
-    sanitize.add_argument(
-        "--quick", action="store_true", help="scaled-down timings"
     )
 
     commands.add_parser("inventory", help="list experiments and services")

@@ -67,7 +67,85 @@ def merge_run_reports(run_reports, seed=42):
     # their exact historical artifact bytes.
     if timeseries is not None:
         merged["timeseries"] = timeseries
+    topology = _merge_topology(run_reports, seed=seed)
+    if topology is not None:
+        merged.update(topology)
     return merged
+
+
+def _merge_topology(run_reports, seed=42):
+    """Fold per-shard uplink/servers/tiers sections, worker-invariantly.
+
+    Scalars and counters sum; the DPU tier's fast-path latency merges
+    through :class:`LatencyHistogram` exactly like pod latency.  Every
+    fold is either shard-order (submission order) or keyed by sorted
+    names, so the merged sections are byte-identical for any worker
+    count.  Returns None when no shard ran a topology, keeping
+    single-server sweep artifacts at their exact historical bytes.
+    """
+    shards = [report for report in run_reports if "uplink" in report]
+    if not shards:
+        return None
+    uplink_counters = CounterSet()
+    pinned = 0
+    members = set()
+    server_counters = {}        # server name -> {"dispatch": CounterSet, ...}
+    host_packets = 0
+    dpu_counters = CounterSet()
+    dpu_packets = 0
+    dpu_occupancy = 0
+    dpu_latency = LatencyHistogram(seed=seed)
+    saw_dpu = False
+    for report in shards:
+        uplink = report["uplink"]
+        members.update(uplink["members"])
+        pinned += uplink["pinned_flows"]
+        for name, value in uplink["counters"].items():
+            uplink_counters.incr(name, value)
+        for name in sorted(report["servers"]):
+            entry = report["servers"][name]
+            folded = server_counters.setdefault(
+                name, {"dispatch": CounterSet(), "dpu": CounterSet()}
+            )
+            for key, value in entry["dispatch"].items():
+                folded["dispatch"].incr(key, value)
+            for key, value in entry.get("dpu", {}).get("counters", {}).items():
+                folded["dpu"].incr(key, value)
+        tiers = report["tiers"]
+        host_packets += tiers["host"]["packets"]
+        dpu = tiers.get("dpu")
+        if dpu is not None:
+            saw_dpu = True
+            dpu_packets += dpu["packets"]
+            dpu_occupancy += dpu["occupancy"]
+            for key, value in dpu["counters"].items():
+                dpu_counters.incr(key, value)
+            dpu_latency.merge(LatencyHistogram.from_dict(dpu["latency"]))
+    servers = {}
+    for name in sorted(server_counters):
+        folded = server_counters[name]
+        entry = {"dispatch": dict(sorted(folded["dispatch"].snapshot().items()))}
+        dpu_snapshot = folded["dpu"].snapshot()
+        if dpu_snapshot:
+            entry["dpu"] = dict(sorted(dpu_snapshot.items()))
+        servers[name] = entry
+    tiers = {"host": {"packets": host_packets}}
+    if saw_dpu:
+        tiers["dpu"] = {
+            "packets": dpu_packets,
+            "occupancy": dpu_occupancy,
+            "counters": dict(sorted(dpu_counters.snapshot().items())),
+            "latency": summarize_histogram(dpu_latency),
+        }
+    return {
+        "uplink": {
+            "members": sorted(members),
+            "pinned_flows": pinned,
+            "counters": dict(sorted(uplink_counters.snapshot().items())),
+        },
+        "servers": servers,
+        "tiers": tiers,
+    }
 
 
 def _merge_timeseries(run_reports):

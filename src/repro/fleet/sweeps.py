@@ -17,6 +17,11 @@ specs from the unified scenario registry:
   drain/freeze/restore/route-update cycle, so the sweep doubles as the
   migration determinism canary (and its report carries the per-shard
   ``migration`` section through the merge).
+* ``az-scaling`` -- the AZ topology story: a fixed tenant population
+  (1M in full mode) ECMP-sprayed over 2..8 gateway servers with the
+  DPU tier armed, so the merged report's ``servers``/``tiers``/
+  ``uplink`` sections track how load and hot-flow offload spread as
+  the AZ grows.
 """
 
 from repro.fleet.shard import ShardSpec, replicate, shard_seed
@@ -59,11 +64,31 @@ def migration_replication(quick=False, seed=42):
     return replicate(base, count=3 if quick else 6, seed=seed)
 
 
+#: Servers per shard for ``az-scaling``; full mode reaches the
+#: paper-scale 8-server AZ at a million tenants.
+AZ_SERVER_AXIS_QUICK = (2, 3)
+AZ_SERVER_AXIS_FULL = (2, 4, 8)
+
+
+def az_scaling(quick=False, seed=42):
+    """AZ scale-out: one tenant population spread over 2..8 ECMP servers."""
+    axis = AZ_SERVER_AXIS_QUICK if quick else AZ_SERVER_AXIS_FULL
+    tenants = 10_000 if quick else 1_000_000
+    shards = []
+    for index, servers in enumerate(axis):
+        spec = scenario_spec(
+            "az-steady", quick=quick, servers=servers, tenants=tenants
+        ).with_overrides(seed=shard_seed(seed, index))
+        shards.append(ShardSpec(index, {"servers": servers}, spec))
+    return shards
+
+
 #: Ordered (name, factory) pairs; listing order is the inventory order.
 SWEEP_FACTORIES = (
     ("tenant-scaling", tenant_scaling),
     ("seed-replication", seed_replication),
     ("migration-replication", migration_replication),
+    ("az-scaling", az_scaling),
 )
 
 

@@ -19,19 +19,25 @@ from repro.scenarios.registry import (
     scenario_spec,
 )
 from repro.scenarios.spec import (
+    DpuTierSpec,
+    EcmpSpec,
     MigrationSpec,
     PodSpec,
     ScenarioSpec,
+    ServerSpec,
     WorkloadSpec,
     apply_override,
 )
 
 __all__ = [
+    "DpuTierSpec",
+    "EcmpSpec",
     "MigrationSpec",
     "PodSpec",
     "RunHandle",
     "SCENARIO_FACTORIES",
     "ScenarioSpec",
+    "ServerSpec",
     "WorkloadSpec",
     "apply_override",
     "build",

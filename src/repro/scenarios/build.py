@@ -58,6 +58,48 @@ def _pod_config(pod_spec, extras=None):
     )
 
 
+def _build_pod(pod_spec, server, rngs, pod_extras):
+    """Add one pod to ``server``, wiring the limiter extra when declared."""
+    extras = dict(pod_extras.get(pod_spec.name, {}))
+    if pod_spec.limiter_stage1_pps is not None and "rate_limiter" not in extras:
+        from repro.core.ratelimit import TwoStageRateLimiter
+
+        extras["rate_limiter"] = TwoStageRateLimiter(
+            rngs.stream(f"limiter.{pod_spec.name}"),
+            stage1_rate_pps=pod_spec.limiter_stage1_pps,
+            stage2_rate_pps=(
+                pod_spec.limiter_stage2_pps
+                if pod_spec.limiter_stage2_pps is not None
+                else pod_spec.limiter_stage1_pps // 4 or 1
+            ),
+        )
+    return server.add_pod(_pod_config(pod_spec, extras))
+
+
+class ServerRuntime:
+    """One live AZ member: its deployment, pods and offload tier."""
+
+    __slots__ = ("name", "server", "pods", "dispatch", "dpu", "promoter")
+
+    def __init__(self, name, server, pods, dispatch, dpu=None, promoter=None):
+        self.name = name
+        self.server = server        # the AlbatrossServer
+        self.pods = pods            # {name: GwPodRuntime}, spec order
+        self.dispatch = dispatch    # FlowPodDispatch
+        self.dpu = dpu              # DpuPreClassifier or None
+        self.promoter = promoter    # HotFlowPromoter or None
+
+
+class TopologyRuntime:
+    """The live AZ: the ECMP uplink plus every :class:`ServerRuntime`."""
+
+    __slots__ = ("uplink", "servers")
+
+    def __init__(self, uplink, servers):
+        self.uplink = uplink
+        self.servers = servers      # {name: ServerRuntime}, spec order
+
+
 def _build_population(workload):
     from repro.workloads.generators import uniform_population, zipf_population
 
@@ -94,6 +136,8 @@ class RunHandle:
         self.checkpointer = None
         # The TimeSeriesRecorder when spec.timeseries_every_ns is set.
         self.telemetry = None
+        # The TopologyRuntime when spec.servers is set.
+        self.topology = None
 
     @property
     def pod(self):
@@ -102,8 +146,9 @@ class RunHandle:
 
     def capacity_pps(self, pod_name=None):
         """Nominal packet capacity of one pod (see ``WorkloadSpec.load``)."""
-        spec = self.spec.pods[0] if pod_name is None else next(
-            pod for pod in self.spec.pods if pod.name == pod_name
+        all_pods = self.spec.all_pods
+        spec = all_pods[0] if pod_name is None else next(
+            pod for pod in all_pods if pod.name == pod_name
         )
         if spec.per_core_pps is not None:
             return spec.per_core_pps * spec.data_cores
@@ -199,7 +244,66 @@ class RunHandle:
             report["timeseries"] = self.telemetry.series()
         if self.migration is not None:
             report["migration"] = self.migration.plan.to_dict()
+        # Topology sections likewise appear only on topology runs.
+        if self.topology is not None:
+            report["uplink"] = self._uplink_section()
+            report["servers"] = self._servers_section()
+            report["tiers"] = self._tiers_section()
         return report
+
+    def _uplink_section(self):
+        uplink = self.topology.uplink
+        return {
+            "members": [name for name, _sink in uplink.members],
+            "pinned_flows": uplink.pinned_flows,
+            "counters": dict(sorted(uplink.counters.snapshot().items())),
+        }
+
+    def _servers_section(self):
+        servers = {}
+        for name, runtime in self.topology.servers.items():
+            entry = {
+                "pods": list(runtime.pods),
+                "dispatch": dict(
+                    sorted(runtime.dispatch.counters.snapshot().items())
+                ),
+            }
+            if runtime.dpu is not None:
+                entry["dpu"] = {
+                    "occupancy": runtime.dpu.occupancy,
+                    "counters": dict(
+                        sorted(runtime.dpu.counters.snapshot().items())
+                    ),
+                }
+            servers[name] = entry
+        return servers
+
+    def _tiers_section(self):
+        """AZ-wide per-tier rollup: the DPU tier vs the host pipeline."""
+        host_packets = sum(pod.transmitted() for pod in self.pods.values())
+        tiers = {"host": {"packets": host_packets}}
+        runtimes = [
+            runtime for runtime in self.topology.servers.values()
+            if runtime.dpu is not None
+        ]
+        if runtimes:
+            from repro.metrics.histogram import LatencyHistogram
+
+            fast = LatencyHistogram(seed=self.spec.seed)
+            counters = {}
+            occupancy = 0
+            for runtime in runtimes:
+                fast.merge(runtime.dpu.latency_histogram)
+                occupancy += runtime.dpu.occupancy
+                for key, value in runtime.dpu.counters.snapshot().items():
+                    counters[key] = counters.get(key, 0) + value
+            tiers["dpu"] = {
+                "packets": counters.get("fast_forwards", 0),
+                "occupancy": occupancy,
+                "counters": dict(sorted(counters.items())),
+                "latency": fast.to_dict(),
+            }
+        return tiers
 
 
 def build(spec, sim=None, rngs=None, pod_extras=None):
@@ -217,40 +321,35 @@ def build(spec, sim=None, rngs=None, pod_extras=None):
     """
     sim = sim if sim is not None else Simulator()
     rngs = rngs if rngs is not None else RngRegistry(seed=spec.seed)
-    server = AlbatrossServer(sim, rngs)
     pod_extras = pod_extras or {}
 
-    pods = {}
-    for pod_spec in spec.pods:
-        extras = dict(pod_extras.get(pod_spec.name, {}))
-        if pod_spec.limiter_stage1_pps is not None and "rate_limiter" not in extras:
-            from repro.core.ratelimit import TwoStageRateLimiter
+    if spec.servers:
+        topology, migration, pods = _build_topology(spec, sim, rngs, pod_extras)
+        # handle.server stays the first member's deployment so
+        # single-server tooling (capacity probes, fault routers) keeps
+        # a meaningful default target.
+        server = next(iter(topology.servers.values())).server
+    else:
+        topology = None
+        server = AlbatrossServer(sim, rngs)
+        pods = {}
+        for pod_spec in spec.pods:
+            pods[pod_spec.name] = _build_pod(pod_spec, server, rngs, pod_extras)
+        migration = None
+        if spec.migration is not None:
+            from repro.controlplane.migration import MigrationController
 
-            extras["rate_limiter"] = TwoStageRateLimiter(
-                rngs.stream(f"limiter.{pod_spec.name}"),
-                stage1_rate_pps=pod_spec.limiter_stage1_pps,
-                stage2_rate_pps=(
-                    pod_spec.limiter_stage2_pps
-                    if pod_spec.limiter_stage2_pps is not None
-                    else pod_spec.limiter_stage1_pps // 4 or 1
-                ),
-            )
-        config = _pod_config(pod_spec, extras)
-        pods[pod_spec.name] = server.add_pod(config)
-
-    migration = None
-    if spec.migration is not None:
-        from repro.controlplane.migration import MigrationController
-
-        migration = MigrationController(sim, server, spec.migration, pods)
+            migration = MigrationController(sim, server, spec.migration, pods)
 
     sources = []
     if spec.workload is not None:
-        if not spec.pods:
+        if not spec.all_pods:
             raise ValueError(f"scenario {spec.name!r} has a workload but no pods")
-        sources.append(_attach_workload(spec, sim, rngs, pods, migration))
+        sink = topology.uplink.forward if topology is not None else None
+        sources.append(_attach_workload(spec, sim, rngs, pods, migration, sink))
 
     handle = RunHandle(spec, sim, rngs, server, pods, sources, migration=migration)
+    handle.topology = topology
     if spec.timeseries_every_ns is not None:
         from repro.telemetry import TimeSeriesRecorder
 
@@ -267,27 +366,118 @@ def build(spec, sim=None, rngs=None, pod_extras=None):
     return handle
 
 
-def _attach_workload(spec, sim, rngs, pods, migration=None):
+def _build_topology(spec, sim, rngs, pod_extras):
+    """Construct the AZ: per-server deployments, tiers and the uplink."""
+    from repro.scenarios.spec import EcmpSpec
+    from repro.topology import (
+        DpuPreClassifier,
+        EcmpUplink,
+        FlowPodDispatch,
+        HotFlowPromoter,
+    )
+
+    ecmp = spec.ecmp if spec.ecmp is not None else EcmpSpec()
+    pods = {}
+    deployments = {}            # server name -> (AlbatrossServer, {pod runtimes})
+    for server_spec in spec.servers:
+        az_server = AlbatrossServer(sim, rngs)
+        server_pods = {}
+        for pod_spec in server_spec.pods:
+            runtime = _build_pod(pod_spec, az_server, rngs, pod_extras)
+            pods[pod_spec.name] = runtime
+            server_pods[pod_spec.name] = runtime
+        deployments[server_spec.name] = (az_server, server_pods)
+
+    migration = None
+    if spec.migration is not None:
+        from repro.controlplane.migration import MigrationController
+
+        home = next(
+            server.name for server in spec.servers
+            if any(pod.name == spec.migration.pod for pod in server.pods)
+        )
+        migration = MigrationController(
+            sim, deployments[home][0], spec.migration, pods
+        )
+
+    members = []
+    servers = {}
+    for server_spec in spec.servers:
+        az_server, server_pods = deployments[server_spec.name]
+        sinks = []
+        for pod_spec in server_spec.pods:
+            # The migrating pod's traffic goes through the controller's
+            # route() indirection: buffered during the blackout, and
+            # re-resolved after the pods-dict entry swap on restore.
+            if migration is not None and migration.pod_name == pod_spec.name:
+                sinks.append((pod_spec.name, migration.route))
+            else:
+                sinks.append((pod_spec.name, server_pods[pod_spec.name].ingress))
+        dispatch = FlowPodDispatch(
+            server_spec.name, sinks, hash_seed=ecmp.pod_hash_seed
+        )
+        dpu = promoter = None
+        entry = dispatch.forward
+        if spec.dpu_tier is not None:
+            tier = spec.dpu_tier
+            dpu = DpuPreClassifier(
+                sim, dispatch.forward,
+                table_capacity=tier.table_capacity,
+                fast_latency_ns=tier.fast_latency_ns,
+                seed=spec.seed,
+            )
+            promoter = HotFlowPromoter(
+                sim, dpu,
+                threshold_pps=tier.threshold_pps,
+                epoch_ns=tier.epoch_ns,
+                demote_after_epochs=tier.demote_after_epochs,
+                sketch_capacity=tier.sketch_capacity,
+            )
+            dpu.promoter = promoter
+            entry = dpu.ingress
+        servers[server_spec.name] = ServerRuntime(
+            server_spec.name, az_server, server_pods, dispatch, dpu, promoter
+        )
+        members.append((server_spec.name, entry))
+
+    uplink = EcmpUplink(
+        members, hash_seed=ecmp.hash_seed, pin_flows=ecmp.pin_flows
+    )
+    return TopologyRuntime(uplink, servers), migration, pods
+
+
+def _attach_workload(spec, sim, rngs, pods, migration=None, sink=None):
     from repro.workloads.generators import CbrSource
     from repro.workloads.microburst import MicroburstSource
 
     workload = spec.workload
-    target_spec = spec.pods[0]
-    target = pods[target_spec.name]
-    # Traffic aimed at a migrating pod goes through the controller's
-    # route() indirection: buffered during the blackout, never dropped.
-    if migration is not None and migration.pod_name == target_spec.name:
-        sink = migration.route
-    else:
-        sink = target.ingress
+    target_spec = spec.all_pods[0]
+    if sink is None:
+        target = pods[target_spec.name]
+        # Traffic aimed at a migrating pod goes through the controller's
+        # route() indirection: buffered during the blackout, never dropped.
+        if migration is not None and migration.pod_name == target_spec.name:
+            sink = migration.route
+        else:
+            sink = target.ingress
     population = _build_population(workload)
     if workload.rate_pps is not None:
         rate = workload.rate_pps
+    elif spec.servers:
+        # Topology runs spread load over the whole AZ: the offered rate
+        # is a fraction of the summed per-pod capacity.
+        capacity = 0
+        for pod_spec in spec.all_pods:
+            if pod_spec.per_core_pps is not None:
+                capacity += pod_spec.per_core_pps * pod_spec.data_cores
+            else:
+                capacity += pods[pod_spec.name].expected_capacity_mpps() * 1e6
+        rate = int(capacity * workload.load)
     else:
         if target_spec.per_core_pps is not None:
             capacity = target_spec.per_core_pps * target_spec.data_cores
         else:
-            capacity = target.expected_capacity_mpps() * 1e6
+            capacity = pods[target_spec.name].expected_capacity_mpps() * 1e6
         rate = int(capacity * workload.load)
     stream = rngs.stream(workload.stream)
     if workload.kind == "microburst":

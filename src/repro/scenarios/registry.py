@@ -7,7 +7,14 @@ fault plans.  Each entry is a factory ``fn(quick) -> ScenarioSpec`` so
 quick mode can shorten durations without forking the definition.
 """
 
-from repro.scenarios.spec import PodSpec, ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import (
+    DpuTierSpec,
+    EcmpSpec,
+    PodSpec,
+    ScenarioSpec,
+    ServerSpec,
+    WorkloadSpec,
+)
 from repro.sim.units import MS
 
 
@@ -86,12 +93,46 @@ def fleet_steady(quick=False, tenants=1000):
     )
 
 
+def az_steady(quick=False, servers=2, tenants=10_000):
+    """AZ steady state: N ECMP servers, zipf tenants, DPU tier armed.
+
+    The zipf head gives the promotion policy real hot flows (the top
+    talkers clear ``threshold_pps`` comfortably at 60% load) while the
+    long tail keeps the host tier busy, so both tiers show up in the
+    report with meaningful counts at any ``servers`` setting.
+    """
+    return ScenarioSpec(
+        name="az-steady",
+        servers=tuple(
+            ServerSpec(
+                name=f"srv{index}",
+                pods=(
+                    PodSpec(
+                        name=f"srv{index}-pod", data_cores=4,
+                        per_core_pps=50_000, mode="plb",
+                    ),
+                ),
+            )
+            for index in range(servers)
+        ),
+        ecmp=EcmpSpec(),
+        dpu_tier=DpuTierSpec(),
+        workload=WorkloadSpec(
+            kind="cbr", flows=tenants, tenants=tenants, load=0.6,
+            population="zipf", stream="traffic",
+        ),
+        duration_ns=(40 if quick else 200) * MS,
+        seed=42,
+    )
+
+
 #: Ordered (name, factory) pairs; listing order is the inventory order.
 SCENARIO_FACTORIES = (
     ("steady-state-plb", steady_state_plb),
     ("microburst-reorder", microburst_reorder),
     ("ratelimit-churn", ratelimit_churn),
     ("fleet-steady", fleet_steady),
+    ("az-steady", az_steady),
 )
 
 

@@ -1,0 +1,31 @@
+"""AZ-scale multi-server topology: ECMP uplink + two-tier fast path.
+
+One simulated availability zone is N :class:`~repro.core.gateway.
+AlbatrossServer` deployments behind an ECMP uplink switch
+(:class:`EcmpUplink`).  Each server fronts its NIC/FPGA+CPU pipeline
+with an optional "DPU" pre-classifier tier (:class:`DpuPreClassifier`):
+a small exact-match flow table that forwards hot flows at a fixed cheap
+latency, with promotion/demotion decided per epoch by
+:class:`HotFlowPromoter` on top of the existing space-saving hitter
+sketch.  Inside a server, :class:`FlowPodDispatch` picks the pod with a
+second, independently seeded flow hash.
+
+Every hop is synchronous (no scheduled events between the uplink and
+the pod NIC), so the uplink trivially preserves per-flow packet order:
+a flow hashes (or is pinned) to exactly one server and its packets
+arrive there in emission order.  Synchronicity also keeps the topology
+out of the snapshot surface -- none of these classes carries pending
+events -- which is why ``ScenarioSpec`` forbids combining ``servers``
+with ``checkpoint_every_ns`` for now.
+"""
+
+from repro.topology.dpu import DpuPreClassifier
+from repro.topology.promotion import HotFlowPromoter
+from repro.topology.switch import EcmpUplink, FlowPodDispatch
+
+__all__ = [
+    "DpuPreClassifier",
+    "EcmpUplink",
+    "FlowPodDispatch",
+    "HotFlowPromoter",
+]

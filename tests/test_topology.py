@@ -1,0 +1,290 @@
+"""AZ topology: ECMP uplink, pod dispatch, DPU tier, promotion policy.
+
+The load-bearing invariants:
+
+* the uplink preserves per-flow packet order across servers (each flow
+  resolves to exactly one server and arrives there in emission order);
+* packet conservation across the tiers (uplink forwarded == DPU fast
+  forwards + host dispatches);
+* the ``az-scaling`` sweep merges byte-identically for any worker
+  count, with per-server and per-tier sections present.
+"""
+
+import json
+
+import pytest
+
+from repro.packet.flows import FlowKey
+from repro.packet.packet import Packet
+from repro.scenarios import build
+from repro.scenarios.registry import scenario_spec
+from repro.sim.engine import Simulator
+from repro.sim.units import MS
+from repro.topology import DpuPreClassifier, EcmpUplink, FlowPodDispatch, HotFlowPromoter
+
+
+def _flow(index):
+    return FlowKey(0x0A000000 + index, 0x0B000001, 1000 + index, 443, 6)
+
+
+def _collector(into):
+    def sink(packet):
+        into.append(packet)
+    return sink
+
+
+class TestEcmpUplink:
+    def test_flow_sticks_to_one_server(self):
+        received = {"a": [], "b": [], "c": []}
+        uplink = EcmpUplink(
+            [(name, _collector(into)) for name, into in sorted(received.items())]
+        )
+        for index in range(32):
+            for _ in range(4):
+                uplink.forward(Packet(_flow(index)))
+        for name, packets in received.items():
+            flows = {packet.flow for packet in packets}
+            by_flow = {}
+            for packet in packets:
+                by_flow.setdefault(packet.flow, []).append(packet.uid)
+            for uids in by_flow.values():
+                assert uids == sorted(uids)
+            assert len(packets) == sum(4 for _ in flows)
+        total = sum(len(packets) for packets in received.values())
+        assert total == 32 * 4
+        assert uplink.counters.get("forwarded") == 32 * 4
+
+    def test_affinity_pins_then_hits(self):
+        sinkhole = []
+        uplink = EcmpUplink([("only", _collector(sinkhole))])
+        for _ in range(3):
+            uplink.forward(Packet(_flow(1)))
+        assert uplink.counters.get("affinity_pins") == 1
+        assert uplink.counters.get("affinity_hits") == 2
+        assert uplink.pinned_flows == 1
+
+    def test_pinning_disabled_skips_affinity_table(self):
+        sinkhole = []
+        uplink = EcmpUplink([("only", _collector(sinkhole))], pin_flows=False)
+        uplink.forward(Packet(_flow(1)))
+        assert uplink.pinned_flows == 0
+        assert uplink.counters.get("affinity_pins") == 0
+
+    def test_spread_across_members(self):
+        received = {"a": [], "b": [], "c": [], "d": []}
+        uplink = EcmpUplink(
+            [(name, _collector(into)) for name, into in sorted(received.items())]
+        )
+        for index in range(256):
+            uplink.forward(Packet(_flow(index)))
+        # A seeded hash over 256 flows lands work on every member.
+        assert all(packets for packets in received.values())
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one server"):
+            EcmpUplink([])
+
+
+class TestFlowPodDispatch:
+    def test_dispatch_counts_per_pod(self):
+        received = {"p0": [], "p1": []}
+        dispatch = FlowPodDispatch(
+            "srv", [(name, _collector(into)) for name, into in sorted(received.items())]
+        )
+        for index in range(64):
+            dispatch.forward(Packet(_flow(index)))
+        assert dispatch.counters.get("dispatched") == 64
+        assert (
+            dispatch.counters.get("to_pod.p0") + dispatch.counters.get("to_pod.p1")
+            == 64
+        )
+        assert all(packets for packets in received.values())
+
+    def test_no_pods_rejected(self):
+        with pytest.raises(ValueError, match="no pods"):
+            FlowPodDispatch("srv", [])
+
+
+class TestDpuPreClassifier:
+    def test_fast_path_stamps_and_bypasses_host(self):
+        sim = Simulator()
+        slow = []
+        dpu = DpuPreClassifier(sim, _collector(slow), fast_latency_ns=2_000)
+        flow = _flow(1)
+        dpu.ingress(Packet(flow))
+        assert len(slow) == 1          # not installed: host path
+        assert dpu.promote(flow)
+        packet = Packet(flow)
+        dpu.ingress(packet)
+        assert len(slow) == 1          # installed: DPU terminal
+        assert packet.latency_ns == 2_000
+        assert dpu.counters.get("fast_forwards") == 1
+        assert dpu.latency_histogram.count == 1
+
+    def test_table_capacity_and_demotion(self):
+        sim = Simulator()
+        dpu = DpuPreClassifier(sim, _collector([]), table_capacity=2)
+        assert dpu.promote(_flow(1))
+        assert dpu.promote(_flow(2))
+        assert not dpu.promote(_flow(3))
+        assert dpu.counters.get("table_full") == 1
+        assert not dpu.promote(_flow(1))       # already installed
+        assert dpu.demote(_flow(1))
+        assert not dpu.demote(_flow(1))        # already gone
+        assert dpu.occupancy == 1
+        assert dpu.promote(_flow(3))           # slot recycled
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="table_capacity"):
+            DpuPreClassifier(Simulator(), _collector([]), table_capacity=0)
+
+
+class TestHotFlowPromoter:
+    def _world(self):
+        sim = Simulator()
+        slow = []
+        dpu = DpuPreClassifier(sim, _collector(slow))
+        promoter = HotFlowPromoter(
+            sim, dpu, threshold_pps=1_000, epoch_ns=1 * MS,
+            demote_after_epochs=2,
+        )
+        dpu.promoter = promoter
+        return sim, dpu, promoter
+
+    def test_hot_flow_promoted_then_demoted_when_quiet(self):
+        sim, dpu, _promoter = self._world()
+        hot = _flow(1)
+        for _ in range(10):
+            dpu.ingress(Packet(hot))
+        sim.run_until(int(1.5 * MS))           # first epoch fires
+        assert dpu.installed(hot)
+        assert dpu.counters.get("promotions") == 1
+        packet = Packet(hot)
+        dpu.ingress(packet)
+        assert packet.latency_ns is not None   # rides the fast path now
+        # Quiet for demote_after_epochs epochs: the entry is evicted.
+        sim.run_until(4 * MS)
+        assert not dpu.installed(hot)
+        assert dpu.counters.get("demotions") == 1
+
+    def test_cold_flows_stay_on_host_path(self):
+        sim, dpu, _promoter = self._world()
+        # One packet per epoch per flow is under the 1000 pps threshold
+        # only if it misses the count bound; at 1 MS epochs the bound is
+        # exactly 1, so use zero traffic in the observed epoch instead.
+        sim.run_until(int(1.5 * MS))
+        assert dpu.occupancy == 0
+
+    def test_sustained_flow_stays_installed(self):
+        sim, dpu, _promoter = self._world()
+        hot = _flow(7)
+
+        def offer():
+            for _ in range(5):
+                dpu.ingress(Packet(hot))
+
+        for epoch in range(4):
+            offer()
+            sim.run_until(int((epoch + 1.5) * MS))
+        assert dpu.installed(hot)
+        assert dpu.counters.get("demotions") == 0
+
+
+class TestTopologyScenario:
+    def _run(self, servers=2, tenants=1_500):
+        spec = scenario_spec(
+            "az-steady", quick=True, servers=servers, tenants=tenants
+        )
+        return build(spec).run()
+
+    def test_per_flow_ordering_across_uplink(self):
+        spec = scenario_spec("az-steady", quick=True, servers=3, tenants=1_000)
+        handle = build(spec)
+        seen = {}                     # flow -> (server, [uids])
+        def tap(flow, uid, server):
+            entry = seen.setdefault(flow, (server, []))
+            assert entry[0] == server, "flow moved between servers"
+            entry[1].append(uid)
+        handle.topology.uplink.tap = tap
+        handle.run()
+        assert seen
+        for _server, uids in seen.values():
+            assert uids == sorted(uids), "per-flow uid order broke"
+
+    def test_tier_packet_conservation(self):
+        handle = self._run()
+        report = handle.report()
+        forwarded = report["uplink"]["counters"]["forwarded"]
+        fast = report["tiers"]["dpu"]["counters"]["fast_forwards"]
+        dispatched = sum(
+            entry["dispatch"]["dispatched"]
+            for entry in report["servers"].values()
+        )
+        assert forwarded == fast + dispatched
+
+    def test_report_sections_present_and_json_safe(self):
+        report = self._run().report()
+        assert set(report["servers"]) == {"srv0", "srv1"}
+        assert report["uplink"]["members"] == ["srv0", "srv1"]
+        assert set(report["tiers"]) == {"host", "dpu"}
+        json.dumps(report)            # plain data end to end
+
+    def test_single_server_report_has_no_topology_sections(self):
+        spec = scenario_spec("fleet-steady", quick=True, tenants=500)
+        report = build(spec).run().report()
+        assert "uplink" not in report
+        assert "servers" not in report
+        assert "tiers" not in report
+
+    def test_same_seed_same_bytes(self):
+        first = json.dumps(self._run().report(), sort_keys=True)
+        second = json.dumps(self._run().report(), sort_keys=True)
+        assert first == second
+
+    def test_promotions_happen_under_zipf(self):
+        report = self._run(tenants=2_000).report()
+        dpu = report["tiers"]["dpu"]
+        assert dpu["counters"]["promotions"] > 0
+        assert dpu["packets"] > 0
+        assert dpu["latency"]["count"] == dpu["packets"]
+
+
+class TestAzSweep:
+    def _merged(self, workers):
+        from repro.fleet.engine import run_sweep
+        from repro.fleet.sweeps import build_sweep
+
+        return run_sweep(
+            "az-scaling", build_sweep("az-scaling", quick=True),
+            workers=workers, seed=42,
+        )
+
+    def test_worker_count_invariance(self):
+        one = json.dumps(self._merged(1).to_dict(), sort_keys=True)
+        two = json.dumps(self._merged(2).to_dict(), sort_keys=True)
+        assert one == two
+
+    def test_merged_sections(self):
+        merged = self._merged(2).merged
+        assert merged["uplink"]["members"] == ["srv0", "srv1", "srv2"]
+        assert set(merged["tiers"]) == {"host", "dpu"}
+        assert merged["tiers"]["dpu"]["packets"] > 0
+        assert merged["tiers"]["host"]["packets"] > 0
+        for name, entry in merged["servers"].items():
+            assert entry["dispatch"]["dispatched"] > 0, name
+
+    def test_axes_in_rows(self):
+        report = self._merged(1)
+        assert [row["servers"] for row in report.rows()] == [2, 3]
+
+    def test_single_server_merge_untouched(self):
+        """Reports without topology sections merge to historical keys."""
+        from repro.fleet.report import merge_run_reports
+        from repro.fleet.sweeps import build_sweep
+
+        spec = build_sweep("tenant-scaling", quick=True)[0].spec
+        report = build(spec).run().report()
+        merged = merge_run_reports([report])
+        assert "uplink" not in merged
+        assert "servers" not in merged
+        assert "tiers" not in merged
